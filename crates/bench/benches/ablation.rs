@@ -1,0 +1,121 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! straggler routing policy, TermEst on/off, QC decoupling, and the
+//! hybrid active-fraction. These measure *simulated outcome* differences
+//! via criterion's throughput of full runs — i.e., they keep the ablated
+//! code paths hot and comparable.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clamshell_core::config::{MaintenanceConfig, QcMode, StragglerConfig};
+use clamshell_core::lifeguard::RoutingPolicy;
+use clamshell_core::runner::run_batched;
+use clamshell_core::task::TaskSpec;
+use clamshell_core::RunConfig;
+use clamshell_trace::Population;
+
+fn specs(n: usize, ng: usize) -> Vec<TaskSpec> {
+    (0..n).map(|i| TaskSpec::new(vec![(i % 2) as u32; ng])).collect()
+}
+
+/// §4.1: the four straggler routing policies.
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_routing");
+    g.sample_size(10);
+    for (policy, name) in [
+        (RoutingPolicy::Random, "random"),
+        (RoutingPolicy::LongestRunning, "longest_running"),
+        (RoutingPolicy::FewestWorkers, "fewest_workers"),
+        (RoutingPolicy::Oracle, "oracle"),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = RunConfig {
+                    pool_size: 15,
+                    ng: 5,
+                    straggler: Some(StragglerConfig { routing: policy, ..Default::default() }),
+                    seed: 2,
+                    ..Default::default()
+                };
+                black_box(run_batched(cfg, Population::mturk_live(), specs(90, 5), 15))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §4.3: TermEst on/off under SM + maintenance.
+fn bench_termest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_termest");
+    g.sample_size(10);
+    for (termest, name) in [(true, "with_termest"), (false, "without_termest")] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = RunConfig {
+                    pool_size: 15,
+                    ng: 5,
+                    straggler: Some(StragglerConfig::default()),
+                    maintenance: Some(MaintenanceConfig {
+                        use_termest: termest,
+                        ..MaintenanceConfig::pm8()
+                    }),
+                    seed: 3,
+                    ..Default::default()
+                };
+                black_box(run_batched(cfg, Population::mturk_live(), specs(90, 5), 15))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §4.1: decoupled vs naive SM under 3-vote quality control.
+fn bench_qc_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_qc_mode");
+    g.sample_size(10);
+    for (mode, name) in [(QcMode::Decoupled, "decoupled"), (QcMode::Naive, "naive")] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = RunConfig {
+                    pool_size: 15,
+                    ng: 5,
+                    quorum: 3,
+                    straggler: Some(StragglerConfig { qc_mode: mode, ..Default::default() }),
+                    seed: 4,
+                    ..Default::default()
+                };
+                black_box(run_batched(cfg, Population::mturk_live(), specs(30, 5), 5))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Pool-to-batch ratio sweep (the R axis of Figures 9–10).
+fn bench_ratio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ratio");
+    g.sample_size(10);
+    for &r in &[0.5f64, 1.0, 3.0] {
+        g.bench_with_input(BenchmarkId::new("r", format!("{r}")), &r, |b, &r| {
+            b.iter(|| {
+                let cfg = RunConfig {
+                    pool_size: 15,
+                    ng: 5,
+                    straggler: Some(StragglerConfig::default()),
+                    seed: 5,
+                    ..Default::default()
+                };
+                let batch = cfg.batch_size_for_ratio(r);
+                black_box(run_batched(
+                    cfg,
+                    Population::mturk_live(),
+                    specs(60, 5),
+                    batch,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing, bench_termest, bench_qc_modes, bench_ratio);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Microbenchmarks of the simulation kernel: event queue, RNG,
+//! distributions, and streaming statistics. These bound the cost of one
+//! simulated event, which in turn bounds how many Monte-Carlo repetitions
+//! the figure harness can afford.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clamshell_sim::dist::{Beta, LogNormal, Normal, Sample, TruncNormal};
+use clamshell_sim::events::EventQueue;
+use clamshell_sim::rng::Rng;
+use clamshell_sim::stats::{OnlineStats, Summary};
+use clamshell_sim::time::SimTime;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for &n in &[100usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.schedule(SimTime::from_millis((i * 7 % 1000) as u64), i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    sum += e;
+                }
+                black_box(sum)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("next_u64", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    g.bench_function("next_gaussian", |b| {
+        let mut rng = Rng::new(2);
+        b.iter(|| black_box(rng.next_gaussian()))
+    });
+    g.bench_function("sample_indices_1000_of_100000", |b| {
+        let mut rng = Rng::new(3);
+        b.iter(|| black_box(rng.sample_indices(100_000, 1000)))
+    });
+    g.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributions");
+    let mut rng = Rng::new(4);
+    let normal = Normal::new(5.0, 2.0);
+    let lognormal = LogNormal::new(1.5, 0.6);
+    let trunc = TruncNormal::new(5.0, 2.0, 1.0);
+    let beta = Beta::new(14.0, 2.0);
+    g.bench_function("normal", |b| b.iter(|| black_box(normal.sample(&mut rng))));
+    g.bench_function("lognormal", |b| b.iter(|| black_box(lognormal.sample(&mut rng))));
+    g.bench_function("trunc_normal", |b| b.iter(|| black_box(trunc.sample(&mut rng))));
+    g.bench_function("beta", |b| b.iter(|| black_box(beta.sample(&mut rng))));
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats");
+    let xs: Vec<f64> = (0..10_000).map(|i| (i as f64).sin() * 40.0 + 50.0).collect();
+    g.bench_function("welford_10k", |b| {
+        b.iter(|| {
+            let mut acc = OnlineStats::new();
+            for &x in &xs {
+                acc.push(x);
+            }
+            black_box(acc.std())
+        })
+    });
+    g.bench_function("summary_10k", |b| b.iter(|| black_box(Summary::of(&xs))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_distributions, bench_stats);
+criterion_main!(benches);

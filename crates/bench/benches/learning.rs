@@ -1,0 +1,96 @@
+//! Benchmarks of the ML substrate: model training (the decision-latency
+//! cost the paper pipelines away), uncertainty selection (§5.3's
+//! subsample trick), and dataset generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clamshell_learn::datasets::digits::{digits, DigitsConfig};
+use clamshell_learn::datasets::generate::{make_classification, GenConfig};
+use clamshell_learn::model::{Classifier, Example, SgdConfig};
+use clamshell_learn::sampling::{select_uncertain, Uncertainty};
+use clamshell_learn::{LogisticRegression, SoftmaxRegression};
+use clamshell_sim::rng::Rng;
+
+fn bench_training(c: &mut Criterion) {
+    let mut g = c.benchmark_group("training");
+    g.sample_size(10);
+    let ds = make_classification(
+        &GenConfig { n_samples: 500, n_features: 50, n_informative: 10, ..Default::default() },
+        1,
+    );
+    let examples: Vec<Example> = (0..ds.len()).map(|r| Example::new(r, ds.labels[r])).collect();
+    for &n in &[100usize, 500] {
+        g.bench_with_input(BenchmarkId::new("logistic_fit", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = LogisticRegression::new(SgdConfig { epochs: 15, ..Default::default() });
+                m.fit(&ds.features, &examples[..n]);
+                black_box(m.bias())
+            })
+        });
+    }
+    let dg = digits(&DigitsConfig { n_samples: 300, ..Default::default() }, 2);
+    let dg_examples: Vec<Example> =
+        (0..dg.len()).map(|r| Example::new(r, dg.labels[r])).collect();
+    g.bench_function("softmax_fit_digits_300x784", |b| {
+        b.iter(|| {
+            let mut m =
+                SoftmaxRegression::new(10, SgdConfig { epochs: 5, ..Default::default() });
+            m.fit(&dg.features, &dg_examples);
+            black_box(m.is_fit())
+        })
+    });
+    g.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selection");
+    let ds = make_classification(
+        &GenConfig { n_samples: 5000, n_features: 50, n_informative: 10, ..Default::default() },
+        3,
+    );
+    let examples: Vec<Example> =
+        (0..500).map(|r| Example::new(r, ds.labels[r])).collect();
+    let mut model = LogisticRegression::new(SgdConfig::default());
+    model.fit(&ds.features, &examples);
+    let unlabeled: Vec<usize> = (500..5000).collect();
+    // The paper's point: selection cost is linear in the subsample size,
+    // not the unlabeled-set size.
+    for &sample in &[200usize, 1000, 4500] {
+        g.bench_with_input(
+            BenchmarkId::new("uncertainty_subsample", sample),
+            &sample,
+            |b, &sample| {
+                let mut rng = Rng::new(4);
+                b.iter(|| {
+                    black_box(select_uncertain(
+                        &model,
+                        &ds.features,
+                        &unlabeled,
+                        10,
+                        sample,
+                        Uncertainty::LeastConfidence,
+                        &mut rng,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datasets");
+    g.sample_size(10);
+    g.bench_function("make_classification_1000x20", |b| {
+        b.iter(|| black_box(make_classification(&GenConfig::default(), 5)))
+    });
+    g.bench_function("digits_100", |b| {
+        b.iter(|| {
+            black_box(digits(&DigitsConfig { n_samples: 100, ..Default::default() }, 6))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_training, bench_selection, bench_generation);
+criterion_main!(benches);

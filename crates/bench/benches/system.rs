@@ -1,0 +1,85 @@
+//! End-to-end system benchmarks: full simulated labeling runs per
+//! configuration. One bench per headline table/figure family, so
+//! `cargo bench` regenerates the cost of every experiment row.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clamshell_core::baselines::{run_open_market, OpenMarketConfig};
+use clamshell_core::config::{MaintenanceConfig, StragglerConfig};
+use clamshell_core::runner::run_batched;
+use clamshell_core::task::TaskSpec;
+use clamshell_core::RunConfig;
+use clamshell_quality::{DawidSkene, EmConfig};
+use clamshell_trace::Population;
+
+fn specs(n: usize, ng: usize) -> Vec<TaskSpec> {
+    (0..n).map(|i| TaskSpec::new(vec![(i % 2) as u32; ng])).collect()
+}
+
+/// Figures 9–12 cost: one full batch run per SM × PM configuration.
+fn bench_batch_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_run_150_tasks");
+    g.sample_size(10);
+    for (sm, pm, name) in [
+        (false, false, "baseline"),
+        (true, false, "straggler"),
+        (false, true, "maintenance"),
+        (true, true, "combined"),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = RunConfig {
+                    pool_size: 15,
+                    ng: 5,
+                    straggler: sm.then(StragglerConfig::default),
+                    maintenance: pm.then(MaintenanceConfig::pm8),
+                    seed: 1,
+                    ..Default::default()
+                };
+                black_box(run_batched(cfg, Population::mturk_live(), specs(150, 5), 15))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §6.6 Base-NR cost: the open-market simulation.
+fn bench_open_market(c: &mut Criterion) {
+    let mut g = c.benchmark_group("open_market");
+    g.sample_size(10);
+    for &n in &[100usize, 500] {
+        g.bench_with_input(BenchmarkId::new("tasks", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(run_open_market(
+                    Population::mturk_live(),
+                    clamshell_crowd::PlatformConfig::default(),
+                    specs(n, 1),
+                    OpenMarketConfig::default(),
+                    1,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Quality-control cost: Dawid–Skene EM on a realistic vote matrix.
+fn bench_quality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quality");
+    let mut ds = DawidSkene::new(2);
+    let mut rng = clamshell_sim::rng::Rng::new(9);
+    for item in 0..500u32 {
+        for w in 0..5u32 {
+            let truth = item % 2;
+            let label = if rng.bernoulli(0.85) { truth } else { 1 - truth };
+            ds.observe(w, item, label);
+        }
+    }
+    g.bench_function("dawid_skene_500x5", |b| {
+        b.iter(|| black_box(ds.run(&EmConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_runs, bench_open_market, bench_quality);
+criterion_main!(benches);

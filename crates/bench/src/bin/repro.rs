@@ -1,0 +1,71 @@
+//! The reproduction harness CLI.
+//!
+//! ```text
+//! repro --list                 # show all experiments
+//! repro fig9 fig10             # run specific experiments
+//! repro --all                  # run everything (used to fill EXPERIMENTS.md)
+//! repro --all --quick          # smaller workloads, single seed
+//! repro fig9 --seeds 5         # average over 5 seeds
+//! ```
+
+use clamshell_bench::{registry, util::Opts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut run_all = false;
+    let mut list = false;
+    let mut picked: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => run_all = true,
+            "--list" => list = true,
+            "--quick" => {
+                opts.scale = 0.25;
+                opts.seeds = vec![1];
+            }
+            "--seeds" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seeds takes a count");
+                opts.seeds = (1..=n).collect();
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+            exp => picked.push(exp.to_string()),
+        }
+        i += 1;
+    }
+
+    let all = registry();
+    if list || (!run_all && picked.is_empty()) {
+        println!("experiments ({} total):", all.len());
+        for (name, desc, _) in &all {
+            println!("  {name:<10} {desc}");
+        }
+        println!("\nusage: repro [--all|--quick|--seeds N|--list] [name...]");
+        return;
+    }
+
+    println!(
+        "CLAMShell reproduction harness — seeds={:?} scale={}",
+        opts.seeds, opts.scale
+    );
+    let mut ran = 0;
+    for (name, _, f) in &all {
+        if run_all || picked.iter().any(|p| p == name) {
+            f(&opts);
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {picked:?}; try --list");
+        std::process::exit(2);
+    }
+}

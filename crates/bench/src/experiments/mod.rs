@@ -1,0 +1,8 @@
+//! Experiment implementations, grouped by the paper's sections.
+
+pub mod combine;
+pub mod learning;
+pub mod maintenance;
+pub mod straggler;
+pub mod tables;
+pub mod trace;

@@ -1,0 +1,43 @@
+//! Tables 2 and 3: the technique matrix and the parameter glossary.
+
+use crate::util::{header, Opts};
+
+/// Table 2: "CLAMShell techniques" capability matrix. The latency /
+/// variance / cost entries are verified empirically by fig4, fig9, fig11
+/// and the integration tests; this prints the matrix itself.
+pub fn table2(_opts: &Opts) {
+    header(
+        "Table 2",
+        "CLAMShell techniques",
+        "straggler: latency+variance at extra cost; pool: latency+variance at no \
+         extra cost; hybrid: latency, AL-specific",
+    );
+    println!("  technique   mean-latency  variance   cost        general");
+    println!("  straggler   Yes           Yes        Increase    Yes");
+    println!("  pool        Yes           Yes        No Change   Yes");
+    println!("  hybrid      Yes           No         Increase    AL");
+    println!();
+    println!("  (verified by: fig4 [pool cost/latency], fig9/fig11 [straggler]");
+    println!("   and fig15/fig16 [hybrid]; see EXPERIMENTS.md)");
+}
+
+/// Table 3: experimental parameters and where this reproduction exposes
+/// them.
+pub fn table3(_opts: &Opts) {
+    header(
+        "Table 3",
+        "Experimental parameters",
+        "PMl, SM, Np, Ng, R, Alg",
+    );
+    let rows = [
+        ("PMl", "Latency threshold for pool maintenance", "MaintenanceConfig::threshold_per_label_secs"),
+        ("SM", "Straggler mitigation on/off", "RunConfig::straggler (Option)"),
+        ("Np", "Number of workers in the retainer pool", "RunConfig::pool_size"),
+        ("Ng", "Task complexity: records grouped per HIT", "RunConfig::ng / TaskSpec::ng()"),
+        ("R", "Pool-to-batch ratio", "RunConfig::batch_size_for_ratio(r)"),
+        ("Alg", "AL / PL / HL / NL", "learning::Strategy"),
+    ];
+    for (p, desc, api) in rows {
+        println!("  {p:<5} {desc:<48} {api}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared experiment plumbing: options, seed averaging, table printing.
+
+use clamshell_core::metrics::RunReport;
+use clamshell_core::runner::run_batched;
+use clamshell_core::task::TaskSpec;
+use clamshell_core::RunConfig;
+use clamshell_trace::Population;
+
+/// Global harness options.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Scale factor in (0, 1] shrinking task counts / budgets for smoke
+    /// runs (`--quick` sets 0.25).
+    pub scale: f64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts { seeds: vec![1, 2, 3], scale: 1.0 }
+    }
+}
+
+impl Opts {
+    /// Scale an experiment size.
+    pub fn n(&self, full: usize) -> usize {
+        ((full as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
+/// Binary-classification task specs of `ng` records each.
+pub fn binary_specs(n_tasks: usize, ng: usize) -> Vec<TaskSpec> {
+    (0..n_tasks)
+        .map(|i| TaskSpec::new(vec![(i % 2) as u32; ng]))
+        .collect()
+}
+
+/// Ten-class task specs (the MNIST-like setting of Figure 3).
+pub fn digit_specs(n_tasks: usize, ng: usize) -> Vec<TaskSpec> {
+    (0..n_tasks)
+        .map(|i| TaskSpec::new((0..ng).map(|j| ((i + j) % 10) as u32).collect()))
+        .collect()
+}
+
+/// Run one configuration over all seeds and return the reports.
+pub fn run_seeds(
+    base: &RunConfig,
+    population: &Population,
+    specs: &[TaskSpec],
+    batch_size: usize,
+    seeds: &[u64],
+) -> Vec<RunReport> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let cfg = RunConfig { seed, ..base.clone() };
+            run_batched(cfg, population.clone(), specs.to_vec(), batch_size)
+        })
+        .collect()
+}
+
+/// Mean of a per-report metric.
+pub fn mean_of(reports: &[RunReport], f: impl Fn(&RunReport) -> f64) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(f).sum::<f64>() / reports.len() as f64
+}
+
+/// Print the standard experiment header.
+pub fn header(id: &str, title: &str, paper_claim: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("  paper: {paper_claim}");
+    println!("================================================================");
+}
+
+/// Print one row of a simple aligned table.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    println!("  {}", line.join(" "));
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a ratio as "N.NNx".
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "inf".into()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opts_scaling_floors_at_one() {
+        let o = Opts { seeds: vec![1], scale: 0.001 };
+        assert_eq!(o.n(100), 1);
+        let full = Opts::default();
+        assert_eq!(full.n(100), 100);
+    }
+
+    #[test]
+    fn specs_have_requested_shape() {
+        let b = binary_specs(4, 5);
+        assert_eq!(b.len(), 4);
+        assert!(b.iter().all(|s| s.ng() == 5));
+        let d = digit_specs(3, 10);
+        assert!(d.iter().all(|s| s.truths.iter().all(|&t| t < 10)));
+    }
+
+    #[test]
+    fn run_seeds_produces_one_report_per_seed() {
+        let cfg = RunConfig { pool_size: 4, ..Default::default() };
+        let reports = run_seeds(
+            &cfg,
+            &Population::mturk_live(),
+            &binary_specs(4, 2),
+            4,
+            &[1, 2],
+        );
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.tasks.len() == 4));
+    }
+}

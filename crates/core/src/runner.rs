@@ -1,0 +1,888 @@
+//! The deterministic discrete-event executor.
+//!
+//! [`Runner`] binds the CLAMShell policies (scheduling, straggler
+//! mitigation, pool maintenance) to the simulated crowd platform. It is
+//! the Rust equivalent of the paper's Python simulator plus the live
+//! retainer implementation: a single event loop advancing simulated time
+//! through worker arrivals, assignment completions, terminations, and
+//! abandonments.
+//!
+//! Determinism contract: for a fixed [`RunConfig`] (including seed) and
+//! task stream, two runs produce byte-identical [`RunReport`]s. Events at
+//! equal times fire in schedule order; all collections iterate in
+//! [`WorkerId`] order; every random draw comes from seeded streams.
+
+use crate::config::{QcMode, RunConfig};
+use crate::lifeguard::route;
+use crate::maintainer::Maintainer;
+use crate::metrics::{AssignmentRecord, BatchStats, RunReport, TaskRecord};
+use crate::task::{Assignment, AssignmentId, TaskId, TaskResponse, TaskSpec, TaskState};
+use clamshell_crowd::{RetainerPool, SimPlatform, WorkerId};
+use clamshell_quality::voting::{majority_vote, Vote};
+use clamshell_sim::events::EventQueue;
+use clamshell_sim::rng::Rng;
+use clamshell_sim::stats::OnlineStats;
+use clamshell_sim::time::{SimDuration, SimTime};
+use clamshell_trace::Population;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A recruited worker finished qualification and arrives.
+    WorkerReady,
+    /// An assignment reaches its planned completion.
+    AssignmentDone(AssignmentId),
+    /// A terminated worker finished the termination dialog.
+    WorkerFreed(WorkerId),
+    /// Patience check: the worker abandons if still idle and the epoch
+    /// matches (stale checks are ignored).
+    Abandon(WorkerId, u32),
+    /// Clock marker used by [`Runner::advance`]; no state change.
+    Nop,
+}
+
+/// The CLAMShell batch executor. See module docs.
+pub struct Runner {
+    cfg: RunConfig,
+    platform: SimPlatform,
+    queue: EventQueue<Event>,
+    pool: RetainerPool,
+    maintainer: Maintainer,
+    rng: Rng,
+
+    tasks: Vec<TaskState>,
+    assignments: Vec<Assignment>,
+
+    /// Current batch's task ids.
+    batch_tasks: Vec<TaskId>,
+    batch_index: usize,
+
+    /// Workers idle and dispatchable right now.
+    idle: BTreeSet<WorkerId>,
+    /// Recruited workers not yet placed in the pool (maintenance reserve).
+    reserve: VecDeque<WorkerId>,
+    reserve_since: BTreeMap<WorkerId, SimTime>,
+    recruits_in_flight: usize,
+    /// Abandon-event invalidation epochs.
+    abandon_epoch: BTreeMap<WorkerId, u32>,
+    patience: BTreeMap<WorkerId, SimDuration>,
+
+    task_records: Vec<TaskRecord>,
+    assignment_records: Vec<AssignmentRecord>,
+    batch_stats: Vec<BatchStats>,
+    started: Option<SimTime>,
+    last_completion: SimTime,
+    evicted_this_boundary: usize,
+}
+
+impl Runner {
+    /// Create a runner over `population`. Call [`Runner::warm_up`] before
+    /// the first batch.
+    pub fn new(cfg: RunConfig, population: Population) -> Self {
+        cfg.validate();
+        let platform = SimPlatform::new(population, cfg.platform.clone(), cfg.seed);
+        let pool = RetainerPool::new(cfg.pool_size);
+        Runner {
+            rng: Rng::new(cfg.seed ^ 0x9E37_79B9_7F4A_7C15),
+            platform,
+            queue: EventQueue::new(),
+            pool,
+            maintainer: Maintainer::new(),
+            tasks: Vec::new(),
+            assignments: Vec::new(),
+            batch_tasks: Vec::new(),
+            batch_index: 0,
+            idle: BTreeSet::new(),
+            reserve: VecDeque::new(),
+            reserve_since: BTreeMap::new(),
+            recruits_in_flight: 0,
+            abandon_epoch: BTreeMap::new(),
+            patience: BTreeMap::new(),
+            task_records: Vec::new(),
+            assignment_records: Vec::new(),
+            batch_stats: Vec::new(),
+            started: None,
+            last_completion: SimTime::ZERO,
+            cfg,
+            evicted_this_boundary: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The maintainer (latency estimates, eviction counters).
+    pub fn maintainer(&self) -> &Maintainer {
+        &self.maintainer
+    }
+
+    /// The retainer pool.
+    pub fn pool(&self) -> &RetainerPool {
+        &self.pool
+    }
+
+    /// All task states (completed and otherwise).
+    pub fn tasks(&self) -> &[TaskState] {
+        &self.tasks
+    }
+
+    /// True mean per-label latency across current pool members — a
+    /// simulator-only oracle (it reads the generative profiles) used to
+    /// validate the §4.2 pool-convergence model against the closed form.
+    pub fn pool_true_mpl(&self) -> f64 {
+        let mut acc = OnlineStats::new();
+        for (w, _) in self.pool.members() {
+            acc.push(self.platform.profile(w).mean_latency);
+        }
+        acc.mean()
+    }
+
+    /// Fill the retainer pool to `Np` before the first batch. Recruitment
+    /// time is excluded from run latency, matching §6.1: "we assume
+    /// recruitment time is amortized across batches and measure latency
+    /// from the moment the first task is sent to the pool."
+    pub fn warm_up(&mut self) {
+        self.ensure_recruitment();
+        while self.pool.len() < self.cfg.pool_size {
+            self.ensure_recruitment();
+            let Some((_, ev)) = self.queue.pop() else {
+                panic!("warm_up: event queue drained before pool filled");
+            };
+            self.handle(ev);
+        }
+    }
+
+    /// Run one batch of tasks to completion; returns the batch index.
+    pub fn run_batch(&mut self, specs: Vec<TaskSpec>) -> usize {
+        assert!(!specs.is_empty(), "empty batch");
+        let index = self.batch_index;
+        let start = self.now();
+        self.started.get_or_insert(start);
+
+        self.batch_tasks.clear();
+        for spec in specs {
+            assert!(
+                spec.truths.iter().all(|&t| t < self.cfg.n_classes),
+                "task truth out of class range"
+            );
+            let id = TaskId(self.tasks.len() as u32);
+            self.tasks.push(TaskState::new(spec, index, start));
+            self.batch_tasks.push(id);
+        }
+
+        // Kick all idle workers at the new work.
+        let idle: Vec<WorkerId> = self.idle.iter().copied().collect();
+        for w in idle {
+            self.dispatch_worker(w);
+        }
+
+        // Pump events until every task in the batch completes.
+        while !self.batch_complete() {
+            let Some((_, ev)) = self.queue.pop() else {
+                panic!(
+                    "run_batch: deadlock — queue drained with incomplete tasks \
+                     (pool={}, in-flight recruits={})",
+                    self.pool.len(),
+                    self.recruits_in_flight
+                );
+            };
+            self.handle(ev);
+        }
+
+        let end = self.now();
+        self.last_completion = end;
+        // Maintenance at the batch boundary (the paper's simulator
+        // replaces slow workers "after each batch").
+        self.evicted_this_boundary = 0;
+        self.maintenance_step();
+        self.record_batch_stats(index, start, end);
+        self.batch_index += 1;
+        index
+    }
+
+    /// Finalize the run: settle outstanding waiting wages and produce the
+    /// report.
+    pub fn finish(mut self) -> RunReport {
+        let now = self.now();
+        let members: Vec<WorkerId> = self.pool.members().map(|(w, _)| w).collect();
+        for w in members {
+            if let Some(wait) = self.pool.leave(w, now) {
+                self.platform.pay_wait(wait);
+            }
+        }
+        let reserve: Vec<WorkerId> = self.reserve.iter().copied().collect();
+        for w in reserve {
+            if let Some(since) = self.reserve_since.remove(&w) {
+                self.platform.pay_wait(now.since(since));
+            }
+        }
+        RunReport {
+            tasks: self.task_records,
+            assignments: self.assignment_records,
+            batches: self.batch_stats,
+            cost: *self.platform.ledger(),
+            workers_recruited: self.platform.workers_recruited(),
+            workers_evicted: self.maintainer.evictions,
+            started: self.started.unwrap_or(SimTime::ZERO),
+            finished: self.last_completion,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::WorkerReady => self.on_worker_ready(),
+            Event::AssignmentDone(aid) => self.on_assignment_done(aid),
+            Event::WorkerFreed(w) => self.on_worker_freed(w),
+            Event::Abandon(w, epoch) => self.on_abandon(w, epoch),
+            Event::Nop => {}
+        }
+    }
+
+    /// Advance the simulated clock by `dur`, processing any events that
+    /// fall inside the window (worker arrivals, abandonments). Used by the
+    /// learning loop to model *blocking* decision latency: with
+    /// synchronous retraining, the next batch cannot start until the
+    /// learner finishes (§5.3).
+    pub fn advance(&mut self, dur: SimDuration) {
+        let target = self.now() + dur;
+        self.queue.schedule(target, Event::Nop);
+        while self.now() < target {
+            let Some((_, ev)) = self.queue.pop() else {
+                break;
+            };
+            self.handle(ev);
+        }
+    }
+
+    fn on_worker_ready(&mut self) {
+        self.recruits_in_flight = self.recruits_in_flight.saturating_sub(1);
+        let w = self.platform.worker_arrives();
+        let now = self.now();
+        if self.pool.vacancies() > 0 {
+            self.join_pool(w);
+        } else {
+            self.reserve.push_back(w);
+            self.reserve_since.insert(w, now);
+        }
+    }
+
+    fn join_pool(&mut self, w: WorkerId) {
+        let now = self.now();
+        if let Some(since) = self.reserve_since.remove(&w) {
+            // Reserve workers were waiting (and being paid) off-pool.
+            self.platform.pay_wait(now.since(since));
+        }
+        let joined = self.pool.join(w, now);
+        debug_assert!(joined, "join_pool on full pool");
+        let patience = self.platform.sample_patience(w);
+        self.patience.insert(w, patience);
+        self.dispatch_worker(w);
+    }
+
+    fn on_worker_freed(&mut self, w: WorkerId) {
+        if self.pool.contains(w) {
+            self.dispatch_worker(w);
+        }
+    }
+
+    fn on_abandon(&mut self, w: WorkerId, epoch: u32) {
+        if !self.cfg.churn {
+            return;
+        }
+        if self.abandon_epoch.get(&w).copied().unwrap_or(0) != epoch {
+            return; // stale check: the worker got work since
+        }
+        if !self.idle.contains(&w) || !self.pool.contains(w) {
+            return;
+        }
+        // The worker walks away from the retainer task.
+        self.idle.remove(&w);
+        let now = self.now();
+        if let Some(wait) = self.pool.leave(w, now) {
+            self.platform.pay_wait(wait);
+        }
+        self.refill_vacancy();
+    }
+
+    fn on_assignment_done(&mut self, aid: AssignmentId) {
+        let a = self.assignments[aid.0 as usize];
+        if !a.is_live() {
+            return; // was terminated earlier; stale event
+        }
+        let now = self.now();
+        let tid = a.task;
+        let w = a.worker;
+        let ng = self.tasks[tid.0 as usize].spec.ng();
+
+        // Mark complete, detach from the task.
+        self.assignments[aid.0 as usize].completed = Some(now);
+        let task = &mut self.tasks[tid.0 as usize];
+        task.active.retain(|&x| x != aid);
+
+        // Produce the answer.
+        let truths = task.spec.truths.clone();
+        let labels = self.platform.sample_labels(w, &truths, self.cfg.n_classes);
+        let age_before = self.pool.age(w);
+        let span = now.since(a.start);
+        self.tasks[tid.0 as usize].responses.push(TaskResponse {
+            worker: w,
+            labels,
+            at: now,
+            latency: span,
+            worker_age: age_before,
+        });
+
+        // Pay and account.
+        self.platform.pay_records(ng as u64);
+        if self.pool.contains(w) {
+            self.pool.finish_work(w, now, true);
+        }
+        let stats = self.maintainer.stats_mut(w);
+        stats.record_completion(span.as_secs_f64(), ng);
+
+        self.assignment_records.push(AssignmentRecord {
+            task: tid.0,
+            batch: self.tasks[tid.0 as usize].batch,
+            worker: w,
+            start: a.start,
+            end: now,
+            terminated: false,
+        });
+
+        // Quorum check.
+        let responses = self.tasks[tid.0 as usize].responses.len();
+        if responses >= self.cfg.quorum as usize {
+            self.complete_task(tid, w);
+        } else {
+            self.enforce_cap(tid, w);
+        }
+
+        // The worker immediately looks for new work.
+        self.dispatch_worker(w);
+    }
+
+    /// Aggregate the final labels, terminate leftover replicas, and log
+    /// the task record.
+    fn complete_task(&mut self, tid: TaskId, finisher: WorkerId) {
+        let now = self.now();
+        // Majority vote per record across the quorum of responses.
+        let task = &self.tasks[tid.0 as usize];
+        let ng = task.spec.ng() as usize;
+        let mut finals = Vec::with_capacity(ng);
+        for rec in 0..ng {
+            let votes: Vec<Vote> = task
+                .responses
+                .iter()
+                .map(|r| Vote { worker: r.worker.0, label: r.labels[rec] })
+                .collect();
+            finals.push(majority_vote(&votes).expect("complete task has responses"));
+        }
+        let first = task.responses[0].clone();
+        let batch = task.batch;
+        let created = task.created;
+        let leftovers: Vec<AssignmentId> = task.active.clone();
+
+        // Quality signal for maintenance (§4.2 Extensions): with a vote
+        // quorum, each response's agreement with the consensus is
+        // per-worker quality evidence.
+        if task.responses.len() >= 2 {
+            let agreements: Vec<(WorkerId, u64, u64)> = task
+                .responses
+                .iter()
+                .map(|r| {
+                    let matched = r
+                        .labels
+                        .iter()
+                        .zip(&finals)
+                        .filter(|(a, b)| a == b)
+                        .count() as u64;
+                    (r.worker, matched, finals.len() as u64)
+                })
+                .collect();
+            for (w, matched, total) in agreements {
+                self.maintainer.stats_mut(w).record_quality(matched, total);
+            }
+        }
+
+        let task = &mut self.tasks[tid.0 as usize];
+        task.completed_at = Some(now);
+        task.final_labels = Some(finals);
+        task.active.clear();
+
+        for aid in leftovers {
+            self.terminate_assignment(aid, finisher);
+        }
+
+        self.task_records.push(TaskRecord {
+            task: tid.0,
+            batch,
+            ng: self.tasks[tid.0 as usize].spec.ng(),
+            created,
+            completed: now,
+            winner: first.worker,
+            winner_span: first.latency,
+            winner_age: first.worker_age,
+        });
+    }
+
+    /// After a partial answer (quorum not yet met), shrink the task's
+    /// concurrency to the new cap by terminating the longest-running
+    /// (straggling) replicas.
+    fn enforce_cap(&mut self, tid: TaskId, finisher: WorkerId) {
+        let remaining = self
+            .cfg
+            .quorum
+            .saturating_sub(self.tasks[tid.0 as usize].responses.len() as u32);
+        let cap = self.concurrency_cap(remaining);
+        loop {
+            let task = &self.tasks[tid.0 as usize];
+            if task.active.len() <= cap {
+                break;
+            }
+            // Longest-running live replica is the straggler to cut.
+            let oldest = task
+                .active
+                .iter()
+                .copied()
+                .min_by_key(|&a| (self.assignments[a.0 as usize].start, a))
+                .expect("non-empty active set");
+            self.tasks[tid.0 as usize].active.retain(|&x| x != oldest);
+            self.terminate_assignment(oldest, finisher);
+        }
+    }
+
+    /// Kill a live assignment (straggler replica or eviction), paying the
+    /// worker for partial work and freeing them after the dialog overhead.
+    fn terminate_assignment(&mut self, aid: AssignmentId, caused_by: WorkerId) {
+        let now = self.now();
+        let a = self.assignments[aid.0 as usize];
+        debug_assert!(a.is_live(), "terminating a dead assignment");
+        self.assignments[aid.0 as usize].terminated = Some(now);
+        let ng = self.tasks[a.task.0 as usize].spec.ng();
+        self.platform.pay_terminated(ng as u64);
+        if self.pool.contains(a.worker) {
+            self.pool.finish_work(a.worker, now, false);
+        }
+        // TermEst evidence: the terminator's current empirical mean.
+        let cause_mean = self
+            .maintainer
+            .stats(caused_by)
+            .filter(|s| s.completed.count() > 0)
+            .map(|s| s.completed.mean());
+        self.maintainer
+            .stats_mut(a.worker)
+            .record_termination(cause_mean);
+
+        self.assignment_records.push(AssignmentRecord {
+            task: a.task.0,
+            batch: self.tasks[a.task.0 as usize].batch,
+            worker: a.worker,
+            start: a.start,
+            end: now,
+            terminated: true,
+        });
+
+        // The worker clicks through the termination dialog, then is free.
+        self.queue.schedule(
+            now + self.cfg.platform.termination_overhead,
+            Event::WorkerFreed(a.worker),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (Scheduler + Mitigator)
+    // ------------------------------------------------------------------
+
+    /// Concurrent-assignment cap for a task still needing `remaining`
+    /// answers (§4.1 "Working with Quality Control").
+    fn concurrency_cap(&self, remaining: u32) -> usize {
+        match &self.cfg.straggler {
+            None => remaining as usize,
+            Some(sm) => match sm.qc_mode {
+                QcMode::Naive => remaining as usize * 2,
+                QcMode::Decoupled => {
+                    if self.cfg.quorum == 1 {
+                        match sm.max_extra {
+                            Some(extra) => 1 + extra,
+                            None => usize::MAX,
+                        }
+                    } else {
+                        remaining as usize + 1
+                    }
+                }
+            },
+        }
+    }
+
+    /// Route an idle worker: unassigned (under-quorum) tasks first, then —
+    /// with straggler mitigation — duplicate an active task. If nothing is
+    /// available the worker waits (and may eventually abandon).
+    fn dispatch_worker(&mut self, w: WorkerId) {
+        if !self.pool.contains(w) {
+            return;
+        }
+        self.idle.remove(&w);
+
+        // 1. Must-fill: tasks with fewer live assignments than needed
+        //    votes, in task order.
+        let mut pick: Option<TaskId> = None;
+        for &tid in &self.batch_tasks {
+            let task = &self.tasks[tid.0 as usize];
+            if task.completed_at.is_some() {
+                continue;
+            }
+            let remaining =
+                self.cfg.quorum.saturating_sub(task.responses.len() as u32) as usize;
+            if task.active.len() < remaining && !task.has_worker(w, &self.assignments) {
+                pick = Some(tid);
+                break;
+            }
+        }
+
+        // 2. Mitigation: duplicate an active task.
+        if pick.is_none() {
+            if let Some(sm) = self.cfg.straggler {
+                let eligible: Vec<TaskId> = self
+                    .batch_tasks
+                    .iter()
+                    .copied()
+                    .filter(|&tid| {
+                        let task = &self.tasks[tid.0 as usize];
+                        if task.completed_at.is_some() || task.active.is_empty() {
+                            return false;
+                        }
+                        let remaining = self
+                            .cfg
+                            .quorum
+                            .saturating_sub(task.responses.len() as u32);
+                        task.active.len() < self.concurrency_cap(remaining)
+                            && !task.has_worker(w, &self.assignments)
+                    })
+                    .collect();
+                pick = route(
+                    sm.routing,
+                    &eligible,
+                    &self.tasks,
+                    &self.assignments,
+                    &mut self.rng,
+                );
+            }
+        }
+
+        match pick {
+            Some(tid) => self.assign(w, tid),
+            None => {
+                // Nothing to do: the worker waits; maybe abandons later.
+                self.idle.insert(w);
+                if self.cfg.churn {
+                    let epoch = *self.abandon_epoch.entry(w).or_insert(0);
+                    let patience =
+                        self.patience.get(&w).copied().unwrap_or(SimDuration::from_mins(30));
+                    self.queue.schedule(self.now() + patience, Event::Abandon(w, epoch));
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, w: WorkerId, tid: TaskId) {
+        let now = self.now();
+        // Invalidate pending abandon checks.
+        *self.abandon_epoch.entry(w).or_insert(0) += 1;
+        let waited = self.pool.start_work(w, now);
+        self.platform.pay_wait(waited);
+
+        let ng = self.tasks[tid.0 as usize].spec.ng();
+        let dur = self.platform.sample_task_duration(w, ng);
+        let aid = AssignmentId(self.assignments.len() as u32);
+        self.assignments.push(Assignment {
+            id: aid,
+            task: tid,
+            worker: w,
+            start: now,
+            planned_end: now + dur,
+            terminated: None,
+            completed: None,
+        });
+        self.tasks[tid.0 as usize].active.push(aid);
+        self.maintainer.stats_mut(w).started += 1;
+        self.queue.schedule(now + dur, Event::AssignmentDone(aid));
+    }
+
+    fn batch_complete(&self) -> bool {
+        self.batch_tasks
+            .iter()
+            .all(|&tid| self.tasks[tid.0 as usize].completed_at.is_some())
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance & recruitment
+    // ------------------------------------------------------------------
+
+    /// Make sure enough recruitments are in flight to (eventually) fill
+    /// the pool and, under maintenance, the reserve.
+    fn ensure_recruitment(&mut self) {
+        let reserve_target = self
+            .cfg
+            .maintenance
+            .map(|m| m.reserve_target)
+            .unwrap_or(0);
+        let want = self.cfg.pool_size + reserve_target;
+        let have = self.pool.len() + self.reserve.len() + self.recruits_in_flight;
+        for _ in have..want {
+            let delay = self.platform.start_recruitment();
+            self.recruits_in_flight += 1;
+            self.queue.schedule(self.now() + delay, Event::WorkerReady);
+        }
+    }
+
+    /// Fill a pool vacancy from the reserve, or start recruiting.
+    fn refill_vacancy(&mut self) {
+        while self.pool.vacancies() > 0 {
+            match self.reserve.pop_front() {
+                Some(next) => self.join_pool(next),
+                None => break,
+            }
+        }
+        self.ensure_recruitment();
+    }
+
+    /// Batch-boundary maintenance: evict flagged workers (replacement
+    /// permitting) and top the reserve back up.
+    fn maintenance_step(&mut self) {
+        let Some(mcfg) = self.cfg.maintenance else {
+            self.ensure_recruitment();
+            return;
+        };
+        let members: Vec<WorkerId> = self.pool.members().map(|(w, _)| w).collect();
+        let flagged = self.maintainer.flag_evictions(members.into_iter(), &mcfg);
+        for w in flagged {
+            // Only evict when a trained replacement is ready — maintenance
+            // never shrinks the pool (§4.2).
+            if self.reserve.is_empty() {
+                break;
+            }
+            self.idle.remove(&w);
+            let now = self.now();
+            if let Some(wait) = self.pool.leave(w, now) {
+                self.platform.pay_wait(wait);
+            }
+            self.maintainer.note_eviction();
+            self.evicted_this_boundary += 1;
+            let replacement = self.reserve.pop_front().expect("checked non-empty");
+            self.join_pool(replacement);
+        }
+        self.refill_vacancy();
+    }
+
+    fn record_batch_stats(&mut self, index: usize, start: SimTime, end: SimTime) {
+        let mut lat = OnlineStats::new();
+        let mut mpl = OnlineStats::new();
+        for &tid in &self.batch_tasks {
+            let task = &self.tasks[tid.0 as usize];
+            if let Some(done) = task.completed_at {
+                lat.push(done.since(task.created).as_secs_f64());
+            }
+            for r in &task.responses {
+                mpl.push(r.latency.as_secs_f64());
+            }
+        }
+        self.batch_stats.push(BatchStats {
+            index,
+            start,
+            end,
+            tasks: self.batch_tasks.len(),
+            task_latency_std: lat.std(),
+            task_latency_mean: lat.mean(),
+            mpl: mpl.mean(),
+            evicted: self.evicted_this_boundary,
+        });
+    }
+}
+
+/// Convenience: run `specs` split into `batch_size` chunks end-to-end.
+pub fn run_batched(
+    cfg: RunConfig,
+    population: Population,
+    specs: Vec<TaskSpec>,
+    batch_size: usize,
+) -> RunReport {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let mut runner = Runner::new(cfg, population);
+    runner.warm_up();
+    let mut iter = specs.into_iter().peekable();
+    while iter.peek().is_some() {
+        let chunk: Vec<TaskSpec> = iter.by_ref().take(batch_size).collect();
+        runner.run_batch(chunk);
+    }
+    runner.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MaintenanceConfig;
+
+    fn specs(n: usize, ng: usize) -> Vec<TaskSpec> {
+        (0..n).map(|i| TaskSpec::new(vec![(i % 2) as u32; ng])).collect()
+    }
+
+    fn base_cfg(seed: u64) -> RunConfig {
+        RunConfig { pool_size: 8, ng: 5, seed, ..Default::default() }
+    }
+
+    fn pop() -> Population {
+        Population::mturk_live()
+    }
+
+    #[test]
+    fn warm_up_fills_pool() {
+        let mut r = Runner::new(base_cfg(1), pop());
+        r.warm_up();
+        assert_eq!(r.pool().len(), 8);
+    }
+
+    #[test]
+    fn single_batch_completes_all_tasks() {
+        let report = run_batched(base_cfg(2), pop(), specs(8, 5), 8);
+        assert_eq!(report.tasks.len(), 8);
+        assert_eq!(report.labels_produced(), 40);
+        assert_eq!(report.batches.len(), 1);
+        assert!(report.total_secs() > 0.0);
+    }
+
+    #[test]
+    fn multi_batch_run() {
+        let report = run_batched(base_cfg(3), pop(), specs(24, 5), 8);
+        assert_eq!(report.batches.len(), 3);
+        assert_eq!(report.tasks.len(), 24);
+        // Batches are sequential in time.
+        for w in report.batches.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let a = run_batched(base_cfg(7), pop(), specs(16, 5), 8);
+        let b = run_batched(base_cfg(7), pop(), specs(16, 5), 8);
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn seeds_change_outcomes() {
+        let a = run_batched(base_cfg(8), pop(), specs(16, 5), 8);
+        let b = run_batched(base_cfg(9), pop(), specs(16, 5), 8);
+        assert_ne!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn straggler_mitigation_creates_terminations() {
+        let cfg = base_cfg(4).with_straggler();
+        let report = run_batched(cfg, pop(), specs(16, 5), 8);
+        assert!(
+            report.assignments.iter().any(|a| a.terminated),
+            "SM with R=1 should terminate some replicas"
+        );
+        // Every task still completes exactly once.
+        assert_eq!(report.tasks.len(), 16);
+    }
+
+    #[test]
+    fn no_mitigation_no_terminations() {
+        let report = run_batched(base_cfg(5), pop(), specs(16, 5), 8);
+        assert_eq!(report.termination_rate(), 0.0);
+    }
+
+    #[test]
+    fn quorum_collects_multiple_answers() {
+        let cfg = RunConfig { quorum: 3, pool_size: 9, ..base_cfg(6) };
+        let mut r = Runner::new(cfg, pop());
+        r.warm_up();
+        r.run_batch(specs(3, 5));
+        for t in r.tasks() {
+            assert_eq!(t.responses.len(), 3, "each task needs exactly 3 answers");
+            assert!(t.final_labels.is_some());
+        }
+    }
+
+    #[test]
+    fn maintenance_evicts_and_replaces() {
+        let cfg = RunConfig {
+            maintenance: Some(MaintenanceConfig {
+                threshold_per_label_secs: 4.0,
+                min_tasks: 1,
+                ..MaintenanceConfig::pm8()
+            }),
+            ..base_cfg(10)
+        };
+        let report = run_batched(cfg, pop(), specs(64, 5), 8);
+        assert!(report.workers_evicted > 0, "aggressive threshold must evict");
+        // Pool never shrinks: every eviction had a replacement.
+        assert!(report.workers_recruited >= 8 + report.workers_evicted as usize);
+    }
+
+    #[test]
+    fn mitigation_improves_batch_makespan() {
+        // Paired comparison, multiple seeds: SM should reduce mean batch
+        // completion time substantially at R=1 on a long-tailed pool.
+        let mut with = 0.0;
+        let mut without = 0.0;
+        for seed in 0..5 {
+            let r1 = run_batched(base_cfg(seed).with_straggler(), pop(), specs(30, 5), 10);
+            let r2 = run_batched(base_cfg(seed), pop(), specs(30, 5), 10);
+            with += r1.batch_makespan_summary().mean;
+            without += r2.batch_makespan_summary().mean;
+        }
+        assert!(
+            without > with * 1.2,
+            "SM should speed batches: with={with} without={without}"
+        );
+    }
+
+    #[test]
+    fn cost_is_positive_and_composed() {
+        let report = run_batched(base_cfg(11), pop(), specs(8, 5), 8);
+        assert!(report.cost.work_micro > 0);
+        assert!(report.cost.recruit_micro > 0);
+        assert_eq!(
+            report.cost.total_micro(),
+            report.cost.work_micro + report.cost.wait_micro + report.cost.recruit_micro
+        );
+    }
+
+    #[test]
+    fn worker_never_duplicates_own_task() {
+        let cfg = base_cfg(12).with_straggler();
+        let report = run_batched(cfg, pop(), specs(4, 5), 4);
+        // Group assignments per task; no worker appears twice.
+        let mut seen: std::collections::HashMap<u32, Vec<WorkerId>> = Default::default();
+        for a in &report.assignments {
+            let entry = seen.entry(a.task).or_default();
+            assert!(
+                !entry.contains(&a.worker),
+                "worker {} duplicated task {}",
+                a.worker,
+                a.task
+            );
+            entry.push(a.worker);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_truths() {
+        let mut r = Runner::new(base_cfg(13), pop());
+        r.warm_up();
+        r.run_batch(vec![TaskSpec::new(vec![5])]); // n_classes = 2
+    }
+}

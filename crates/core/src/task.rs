@@ -1,0 +1,255 @@
+//! Tasks, assignments, and their lifecycles.
+//!
+//! Terminology from §4.1: a *task* is "either active, complete, or
+//! unassigned"; an *assignment* is one worker's attempt at one task.
+//! Straggler mitigation creates multiple concurrent assignments per task;
+//! the first completed assignment(s) win and the rest are terminated.
+
+use clamshell_crowd::WorkerId;
+use clamshell_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Task identifier (index into the runner's task table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+/// Assignment identifier (index into the runner's assignment table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AssignmentId(pub u32);
+
+/// The immutable description of a labeling task: the ground-truth classes
+/// of the `Ng` records grouped into it. (Ground truth exists only inside
+/// the simulator — workers sample noisy answers from it.)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// True class of each record in the task.
+    pub truths: Vec<u32>,
+    /// Optional dataset row backing each record (used by the learning
+    /// loop to map crowd answers back to points).
+    pub rows: Vec<usize>,
+}
+
+impl TaskSpec {
+    /// A task with the given record truths and no dataset backing.
+    pub fn new(truths: Vec<u32>) -> Self {
+        assert!(!truths.is_empty(), "task must contain records");
+        TaskSpec { rows: Vec::new(), truths }
+    }
+
+    /// A task backed by dataset rows.
+    pub fn for_rows(rows: Vec<usize>, truths: Vec<u32>) -> Self {
+        assert_eq!(rows.len(), truths.len());
+        assert!(!truths.is_empty(), "task must contain records");
+        TaskSpec { rows, truths }
+    }
+
+    /// Number of records (`Ng`).
+    pub fn ng(&self) -> u32 {
+        self.truths.len() as u32
+    }
+}
+
+/// One completed answer for a task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskResponse {
+    /// Who answered.
+    pub worker: WorkerId,
+    /// Labels for each record of the task.
+    pub labels: Vec<u32>,
+    /// When the answer arrived.
+    pub at: SimTime,
+    /// How long the winning assignment took.
+    pub latency: SimDuration,
+    /// Tasks the worker had completed in the pool before this one
+    /// ("worker age", Figure 5's x-axis).
+    pub worker_age: u32,
+}
+
+/// Lifecycle state of a task (§4.1's unassigned / active / complete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskPhase {
+    /// No assignment yet.
+    Unassigned,
+    /// At least one live assignment, quorum not yet met.
+    Active,
+    /// Quorum met; final labels aggregated.
+    Complete,
+}
+
+/// Mutable task state tracked by the runner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskState {
+    /// The task description.
+    pub spec: TaskSpec,
+    /// Batch index this task belongs to.
+    pub batch: usize,
+    /// When the task became eligible (batch start).
+    pub created: SimTime,
+    /// Collected answers (completed assignments).
+    pub responses: Vec<TaskResponse>,
+    /// Currently running assignments.
+    pub active: Vec<AssignmentId>,
+    /// Completion time, once quorum is met.
+    pub completed_at: Option<SimTime>,
+    /// Majority-aggregated labels, once complete.
+    pub final_labels: Option<Vec<u32>>,
+}
+
+impl TaskState {
+    /// Fresh state for a spec in `batch` at time `created`.
+    pub fn new(spec: TaskSpec, batch: usize, created: SimTime) -> Self {
+        TaskState {
+            spec,
+            batch,
+            created,
+            responses: Vec::new(),
+            active: Vec::new(),
+            completed_at: None,
+            final_labels: None,
+        }
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> TaskPhase {
+        if self.completed_at.is_some() {
+            TaskPhase::Complete
+        } else if self.active.is_empty() {
+            TaskPhase::Unassigned
+        } else {
+            TaskPhase::Active
+        }
+    }
+
+    /// Whether `worker` already holds or held a live/completed assignment
+    /// for this task (a worker never works the same task twice).
+    pub fn has_worker(&self, worker: WorkerId, assignments: &[Assignment]) -> bool {
+        self.responses.iter().any(|r| r.worker == worker)
+            || self
+                .active
+                .iter()
+                .any(|&a| assignments[a.0 as usize].worker == worker)
+    }
+
+    /// Latency from batch start to completion (Figure 3/10's per-task
+    /// latency), if complete.
+    pub fn completion_latency(&self) -> Option<SimDuration> {
+        self.completed_at.map(|t| t.since(self.created))
+    }
+}
+
+/// One worker × task execution attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Its id.
+    pub id: AssignmentId,
+    /// The task being attempted.
+    pub task: TaskId,
+    /// The worker attempting it.
+    pub worker: WorkerId,
+    /// Start time.
+    pub start: SimTime,
+    /// When the worker would finish if not terminated.
+    pub planned_end: SimTime,
+    /// Set when straggler mitigation or eviction kills the assignment.
+    pub terminated: Option<SimTime>,
+    /// Set when the assignment completed and produced an answer.
+    pub completed: Option<SimTime>,
+}
+
+impl Assignment {
+    /// Is this assignment still running at all?
+    pub fn is_live(&self) -> bool {
+        self.terminated.is_none() && self.completed.is_none()
+    }
+
+    /// Wall-clock span of the assignment as it actually ended (terminated
+    /// early, completed, or `None` if still live).
+    pub fn span(&self) -> Option<SimDuration> {
+        self.terminated
+            .or(self.completed)
+            .map(|end| end.since(self.start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn spec_ng() {
+        assert_eq!(TaskSpec::new(vec![0, 1, 0]).ng(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_spec_rejected() {
+        let _ = TaskSpec::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_rows_rejected() {
+        let _ = TaskSpec::for_rows(vec![1, 2], vec![0]);
+    }
+
+    #[test]
+    fn phase_transitions() {
+        let mut ts = TaskState::new(TaskSpec::new(vec![0]), 0, t(0));
+        assert_eq!(ts.phase(), TaskPhase::Unassigned);
+        ts.active.push(AssignmentId(0));
+        assert_eq!(ts.phase(), TaskPhase::Active);
+        ts.active.clear();
+        ts.completed_at = Some(t(5));
+        assert_eq!(ts.phase(), TaskPhase::Complete);
+        assert_eq!(ts.completion_latency(), Some(SimDuration::from_secs(5)));
+    }
+
+    #[test]
+    fn has_worker_checks_both_live_and_answered() {
+        let mut ts = TaskState::new(TaskSpec::new(vec![0]), 0, t(0));
+        let assignments = vec![Assignment {
+            id: AssignmentId(0),
+            task: TaskId(0),
+            worker: WorkerId(7),
+            start: t(0),
+            planned_end: t(10),
+            terminated: None,
+            completed: None,
+        }];
+        assert!(!ts.has_worker(WorkerId(7), &assignments));
+        ts.active.push(AssignmentId(0));
+        assert!(ts.has_worker(WorkerId(7), &assignments));
+        ts.active.clear();
+        ts.responses.push(TaskResponse {
+            worker: WorkerId(7),
+            labels: vec![0],
+            at: t(3),
+            latency: SimDuration::from_secs(3),
+            worker_age: 0,
+        });
+        assert!(ts.has_worker(WorkerId(7), &assignments));
+        assert!(!ts.has_worker(WorkerId(8), &assignments));
+    }
+
+    #[test]
+    fn assignment_span() {
+        let mut a = Assignment {
+            id: AssignmentId(0),
+            task: TaskId(0),
+            worker: WorkerId(0),
+            start: t(10),
+            planned_end: t(30),
+            terminated: None,
+            completed: None,
+        };
+        assert!(a.is_live());
+        assert_eq!(a.span(), None);
+        a.terminated = Some(t(15));
+        assert_eq!(a.span(), Some(SimDuration::from_secs(5)));
+        assert!(!a.is_live());
+    }
+}

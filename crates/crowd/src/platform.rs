@@ -1,0 +1,311 @@
+//! The simulated crowd platform.
+//!
+//! [`SimPlatform`] is the stochastic half of the reproduction: it owns the
+//! worker registry and every random draw — recruitment delays, task
+//! durations, label correctness, retainer patience. Each worker gets an
+//! independent forked RNG stream, so adding or removing one worker never
+//! perturbs another worker's behaviour (critical for paired comparisons
+//! like "same seed, maintenance on vs off").
+
+use crate::payment::CostLedger;
+use clamshell_sim::rng::Rng;
+use clamshell_sim::time::SimDuration;
+use clamshell_trace::{Population, WorkerProfile};
+use serde::{Deserialize, Serialize};
+
+/// Opaque identifier of a recruited worker. Ordered, so collections keyed
+/// by `WorkerId` iterate deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Mechanism-level platform parameters (all from §6.1 of the paper unless
+/// noted).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Dollars per minute paid to workers waiting in the retainer pool
+    /// ($0.05).
+    pub wait_pay_per_min: f64,
+    /// Dollars per record labeled ($0.02).
+    pub pay_per_record: f64,
+    /// Cost of posting one recruitment task.
+    pub recruitment_fee: f64,
+    /// Qualification & training time once a worker accepts a retainer
+    /// task, before they can receive real work (§2.1 phase 2).
+    pub qualification: SimDuration,
+    /// Overhead a worker pays when their in-flight assignment is
+    /// terminated ("workers must click a dialog to finish the old task and
+    /// be presented with a new one, which takes seconds", §6.3).
+    pub termination_overhead: SimDuration,
+    /// Whether terminated (partial) work is still paid — the paper always
+    /// pays it ("it pays them for their partial work on the old task
+    /// regardless", §4.1).
+    pub pay_terminated_work: bool,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            wait_pay_per_min: clamshell_trace::calibration::pricing::WAIT_PER_MIN,
+            pay_per_record: clamshell_trace::calibration::pricing::PER_RECORD,
+            recruitment_fee: 0.05,
+            qualification: SimDuration::from_secs(30),
+            termination_overhead: SimDuration::from_secs(3),
+            pay_terminated_work: true,
+        }
+    }
+}
+
+/// A registered worker: immutable profile plus a private RNG stream.
+#[derive(Debug, Clone)]
+struct RegisteredWorker {
+    profile: WorkerProfile,
+    rng: Rng,
+}
+
+/// The simulated crowd platform (see crate docs).
+#[derive(Debug)]
+pub struct SimPlatform {
+    population: Population,
+    config: PlatformConfig,
+    workers: Vec<RegisteredWorker>,
+    rng: Rng,
+    ledger: CostLedger,
+}
+
+impl SimPlatform {
+    /// Create a platform over `population` with deterministic `seed`.
+    pub fn new(population: Population, config: PlatformConfig, seed: u64) -> Self {
+        SimPlatform {
+            population,
+            config,
+            workers: Vec::new(),
+            rng: Rng::new(seed),
+            ledger: CostLedger::new(),
+        }
+    }
+
+    /// Platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// The population this platform draws from.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Immutable view of the cost ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Number of workers ever recruited.
+    pub fn workers_recruited(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Post a recruitment task: charges the posting fee and returns the
+    /// sampled delay until a (new) worker accepts, *including* the
+    /// qualification/training phase, after which the caller should invoke
+    /// [`SimPlatform::worker_arrives`].
+    pub fn start_recruitment(&mut self) -> SimDuration {
+        self.ledger.charge_recruitment(self.config.recruitment_fee);
+        self.population.sample_recruitment(&mut self.rng) + self.config.qualification
+    }
+
+    /// A recruited worker arrives: samples their profile and registers
+    /// them, returning the new [`WorkerId`].
+    pub fn worker_arrives(&mut self) -> WorkerId {
+        let id = WorkerId(self.workers.len() as u32);
+        let profile = self.population.sample_profile(&mut self.rng);
+        let rng = self.rng.fork(id.0 as u64);
+        self.workers.push(RegisteredWorker { profile, rng });
+        id
+    }
+
+    /// Register a worker with an explicit profile (tests and controlled
+    /// experiments).
+    pub fn register_worker(&mut self, profile: WorkerProfile) -> WorkerId {
+        let id = WorkerId(self.workers.len() as u32);
+        let rng = self.rng.fork(id.0 as u64);
+        self.workers.push(RegisteredWorker { profile, rng });
+        id
+    }
+
+    /// The worker's generative profile.
+    pub fn profile(&self, w: WorkerId) -> &WorkerProfile {
+        &self.workers[w.0 as usize].profile
+    }
+
+    /// Sample how long worker `w` takes for a task grouping `ng` records.
+    pub fn sample_task_duration(&mut self, w: WorkerId, ng: u32) -> SimDuration {
+        let rw = &mut self.workers[w.0 as usize];
+        rw.profile.sample_task_duration(ng, &mut rw.rng)
+    }
+
+    /// Sample worker `w`'s answers for a task whose records have ground
+    /// truth `truths`, each out of `n_classes`.
+    pub fn sample_labels(&mut self, w: WorkerId, truths: &[u32], n_classes: u32) -> Vec<u32> {
+        let rw = &mut self.workers[w.0 as usize];
+        truths
+            .iter()
+            .map(|&t| rw.profile.sample_label(t, n_classes, &mut rw.rng))
+            .collect()
+    }
+
+    /// Sample how long worker `w` will tolerate waiting idle before
+    /// abandoning the retainer pool (exponential around their patience).
+    pub fn sample_patience(&mut self, w: WorkerId) -> SimDuration {
+        let rw = &mut self.workers[w.0 as usize];
+        let mean = rw.profile.patience.as_secs_f64().max(1.0);
+        SimDuration::from_secs_f64(
+            clamshell_sim::dist::Exponential::from_mean(mean)
+                .sample_with(&mut rw.rng),
+        )
+    }
+
+    /// Pay a worker for waiting `dur` in the retainer pool.
+    pub fn pay_wait(&mut self, dur: SimDuration) {
+        self.ledger.charge_wait(dur, self.config.wait_pay_per_min);
+    }
+
+    /// Pay for `records` labeled (completed work).
+    pub fn pay_records(&mut self, records: u64) {
+        self.ledger.charge_work(records, self.config.pay_per_record);
+    }
+
+    /// Pay for a terminated assignment's partial work (if configured).
+    pub fn pay_terminated(&mut self, records: u64) {
+        if self.config.pay_terminated_work {
+            self.ledger.charge_work(records, self.config.pay_per_record);
+        }
+    }
+}
+
+/// Extension trait so distributions can sample from a caller-supplied RNG
+/// without exposing `dist::Sample` everywhere.
+trait SampleWith {
+    fn sample_with(&self, rng: &mut Rng) -> f64;
+}
+
+impl<T: clamshell_sim::dist::Sample> SampleWith for T {
+    fn sample_with(&self, rng: &mut Rng) -> f64 {
+        T::sample(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform(seed: u64) -> SimPlatform {
+        SimPlatform::new(Population::mturk_live(), PlatformConfig::default(), seed)
+    }
+
+    #[test]
+    fn recruitment_charges_fee_and_returns_delay() {
+        let mut p = platform(1);
+        let d = p.start_recruitment();
+        assert!(d >= p.config().qualification);
+        assert_eq!(p.ledger().recruit_micro, 50_000);
+        let w = p.worker_arrives();
+        assert_eq!(w, WorkerId(0));
+        assert_eq!(p.workers_recruited(), 1);
+    }
+
+    #[test]
+    fn worker_ids_are_sequential() {
+        let mut p = platform(2);
+        for i in 0..5 {
+            p.start_recruitment();
+            assert_eq!(p.worker_arrives(), WorkerId(i));
+        }
+    }
+
+    #[test]
+    fn task_durations_track_worker_profile() {
+        let mut p = platform(3);
+        let fast = p.register_worker(WorkerProfile::fixed(2.0, 0.2, 0.9));
+        let slow = p.register_worker(WorkerProfile::fixed(20.0, 0.2, 0.9));
+        let n = 2000;
+        let fmean: f64 = (0..n)
+            .map(|_| p.sample_task_duration(fast, 1).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        let smean: f64 = (0..n)
+            .map(|_| p.sample_task_duration(slow, 1).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((fmean - 2.0).abs() < 0.1, "fmean={fmean}");
+        assert!((smean - 20.0).abs() < 0.5, "smean={smean}");
+    }
+
+    #[test]
+    fn labels_respect_accuracy() {
+        let mut p = platform(4);
+        let w = p.register_worker(WorkerProfile::fixed(2.0, 0.2, 1.0));
+        let truths = vec![0, 1, 2, 3];
+        assert_eq!(p.sample_labels(w, &truths, 4), truths);
+    }
+
+    #[test]
+    fn worker_streams_are_independent() {
+        // Worker 0's draws must be identical whether or not worker 1 ever
+        // samples anything.
+        let mk = || {
+            let mut p = platform(7);
+            let a = p.register_worker(WorkerProfile::fixed(5.0, 1.0, 0.9));
+            let b = p.register_worker(WorkerProfile::fixed(5.0, 1.0, 0.9));
+            (p, a, b)
+        };
+        let (mut p1, a1, _) = mk();
+        let seq1: Vec<u64> = (0..10)
+            .map(|_| p1.sample_task_duration(a1, 1).as_millis())
+            .collect();
+        let (mut p2, a2, b2) = mk();
+        for _ in 0..500 {
+            p2.sample_task_duration(b2, 1); // interleave other worker's draws
+        }
+        let seq2: Vec<u64> = (0..10)
+            .map(|_| p2.sample_task_duration(a2, 1).as_millis())
+            .collect();
+        assert_eq!(seq1, seq2);
+    }
+
+    #[test]
+    fn payments_accumulate() {
+        let mut p = platform(5);
+        p.pay_wait(SimDuration::from_mins(1));
+        p.pay_records(5);
+        p.pay_terminated(5);
+        // $0.05 + 5*$0.02 + 5*$0.02 = $0.25
+        assert_eq!(p.ledger().total_micro(), 250_000);
+    }
+
+    #[test]
+    fn terminated_pay_can_be_disabled() {
+        let cfg = PlatformConfig { pay_terminated_work: false, ..Default::default() };
+        let mut p = SimPlatform::new(Population::mturk_live(), cfg, 6);
+        p.pay_terminated(5);
+        assert_eq!(p.ledger().total_micro(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut p = platform(42);
+            p.start_recruitment();
+            let w = p.worker_arrives();
+            (0..20)
+                .map(|_| p.sample_task_duration(w, 5).as_millis())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,268 @@
+//! Retainer-pool slots.
+//!
+//! Figure 1 of the paper shows the crowd platform holding "a set of slots
+//! (S1…S4) in the current retainer pool. Each slot corresponds to a
+//! persistent retainer task that a crowd worker has accepted, and may be
+//! empty or contain a task." [`RetainerPool`] models exactly that: a
+//! bounded set of members, each either *waiting* (idle, accruing wait pay)
+//! or *working* (running an assignment). Iteration order is deterministic
+//! (ordered by [`WorkerId`]) so the scheduler's choices are reproducible.
+
+use crate::platform::WorkerId;
+use clamshell_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The state of one pool member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberState {
+    /// Idle in the pool since the given time (accruing wait pay).
+    Waiting {
+        /// When the worker last became idle.
+        since: SimTime,
+    },
+    /// Executing an assignment since the given time.
+    Working {
+        /// When the current assignment started.
+        since: SimTime,
+    },
+}
+
+/// Per-member bookkeeping.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Member {
+    /// Current state.
+    pub state: MemberState,
+    /// When the worker joined the pool.
+    pub joined: SimTime,
+    /// Number of assignments this member has *started* in this pool.
+    pub started: u32,
+    /// Number of assignments completed (not terminated).
+    pub completed: u32,
+}
+
+/// A bounded retainer pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RetainerPool {
+    capacity: usize,
+    members: BTreeMap<WorkerId, Member>,
+}
+
+impl RetainerPool {
+    /// Create a pool with room for `capacity` workers (`Np` in Table 3).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        RetainerPool { capacity, members: BTreeMap::new() }
+    }
+
+    /// Target size `Np`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the pool has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Open slots remaining.
+    pub fn vacancies(&self) -> usize {
+        self.capacity.saturating_sub(self.members.len())
+    }
+
+    /// Add a worker in the `Waiting` state. Returns `false` (and does not
+    /// add) if the pool is full or the worker is already a member.
+    pub fn join(&mut self, w: WorkerId, now: SimTime) -> bool {
+        if self.vacancies() == 0 || self.members.contains_key(&w) {
+            return false;
+        }
+        self.members.insert(
+            w,
+            Member {
+                state: MemberState::Waiting { since: now },
+                joined: now,
+                started: 0,
+                completed: 0,
+            },
+        );
+        true
+    }
+
+    /// Remove a worker (eviction or abandonment). Returns the waiting
+    /// duration to settle (wait pay owed since they last became idle), or
+    /// `None` if the worker was not a member.
+    pub fn leave(&mut self, w: WorkerId, now: SimTime) -> Option<SimDuration> {
+        let m = self.members.remove(&w)?;
+        Some(match m.state {
+            MemberState::Waiting { since } => now.since(since),
+            MemberState::Working { .. } => SimDuration::ZERO,
+        })
+    }
+
+    /// Is this worker a member?
+    pub fn contains(&self, w: WorkerId) -> bool {
+        self.members.contains_key(&w)
+    }
+
+    /// Member record, if present.
+    pub fn member(&self, w: WorkerId) -> Option<&Member> {
+        self.members.get(&w)
+    }
+
+    /// Transition a waiting worker to working. Returns the waiting
+    /// duration being ended (for wait-pay settlement). Panics if the
+    /// worker is not a waiting member — that is a scheduler bug.
+    pub fn start_work(&mut self, w: WorkerId, now: SimTime) -> SimDuration {
+        let m = self.members.get_mut(&w).expect("start_work: not a member");
+        match m.state {
+            MemberState::Waiting { since } => {
+                m.state = MemberState::Working { since: now };
+                m.started += 1;
+                now.since(since)
+            }
+            MemberState::Working { .. } => panic!("start_work: {w} already working"),
+        }
+    }
+
+    /// Transition a working worker back to waiting. `completed` records
+    /// whether the assignment finished (vs being terminated). Returns the
+    /// work duration.
+    pub fn finish_work(&mut self, w: WorkerId, now: SimTime, completed: bool) -> SimDuration {
+        let m = self.members.get_mut(&w).expect("finish_work: not a member");
+        match m.state {
+            MemberState::Working { since } => {
+                m.state = MemberState::Waiting { since: now };
+                if completed {
+                    m.completed += 1;
+                }
+                now.since(since)
+            }
+            MemberState::Waiting { .. } => panic!("finish_work: {w} not working"),
+        }
+    }
+
+    /// Workers currently idle, in deterministic (id) order.
+    pub fn waiting(&self) -> Vec<WorkerId> {
+        self.members
+            .iter()
+            .filter(|(_, m)| matches!(m.state, MemberState::Waiting { .. }))
+            .map(|(&w, _)| w)
+            .collect()
+    }
+
+    /// Workers currently working, in deterministic (id) order.
+    pub fn working(&self) -> Vec<WorkerId> {
+        self.members
+            .iter()
+            .filter(|(_, m)| matches!(m.state, MemberState::Working { .. }))
+            .map(|(&w, _)| w)
+            .collect()
+    }
+
+    /// All members in deterministic order.
+    pub fn members(&self) -> impl Iterator<Item = (WorkerId, &Member)> {
+        self.members.iter().map(|(&w, m)| (w, m))
+    }
+
+    /// Number of assignments completed by `w` in this pool ("worker age"
+    /// in Figure 5's sense).
+    pub fn age(&self, w: WorkerId) -> u32 {
+        self.members.get(&w).map(|m| m.completed).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn join_respects_capacity() {
+        let mut p = RetainerPool::new(2);
+        assert!(p.join(WorkerId(0), t(0)));
+        assert!(p.join(WorkerId(1), t(0)));
+        assert!(!p.join(WorkerId(2), t(0)), "pool full");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.vacancies(), 0);
+    }
+
+    #[test]
+    fn double_join_rejected() {
+        let mut p = RetainerPool::new(3);
+        assert!(p.join(WorkerId(0), t(0)));
+        assert!(!p.join(WorkerId(0), t(1)));
+    }
+
+    #[test]
+    fn work_transitions_and_wait_settlement() {
+        let mut p = RetainerPool::new(2);
+        p.join(WorkerId(0), t(0));
+        // Waited 10s before work started.
+        let waited = p.start_work(WorkerId(0), t(10));
+        assert_eq!(waited, SimDuration::from_secs(10));
+        assert_eq!(p.waiting(), vec![]);
+        assert_eq!(p.working(), vec![WorkerId(0)]);
+        let worked = p.finish_work(WorkerId(0), t(25), true);
+        assert_eq!(worked, SimDuration::from_secs(15));
+        assert_eq!(p.age(WorkerId(0)), 1);
+        assert_eq!(p.waiting(), vec![WorkerId(0)]);
+    }
+
+    #[test]
+    fn terminated_work_does_not_increment_age() {
+        let mut p = RetainerPool::new(1);
+        p.join(WorkerId(3), t(0));
+        p.start_work(WorkerId(3), t(1));
+        p.finish_work(WorkerId(3), t(5), false);
+        assert_eq!(p.age(WorkerId(3)), 0);
+        assert_eq!(p.member(WorkerId(3)).unwrap().started, 1);
+    }
+
+    #[test]
+    fn leave_returns_outstanding_wait() {
+        let mut p = RetainerPool::new(2);
+        p.join(WorkerId(0), t(0));
+        assert_eq!(p.leave(WorkerId(0), t(30)), Some(SimDuration::from_secs(30)));
+        assert_eq!(p.leave(WorkerId(0), t(31)), None, "already gone");
+        // A working member owes no wait on departure.
+        p.join(WorkerId(1), t(40));
+        p.start_work(WorkerId(1), t(45));
+        assert_eq!(p.leave(WorkerId(1), t(50)), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn waiting_order_is_deterministic() {
+        let mut p = RetainerPool::new(5);
+        for id in [4u32, 1, 3, 0, 2] {
+            p.join(WorkerId(id), t(0));
+        }
+        assert_eq!(
+            p.waiting(),
+            vec![WorkerId(0), WorkerId(1), WorkerId(2), WorkerId(3), WorkerId(4)]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn start_work_on_nonmember_panics() {
+        let mut p = RetainerPool::new(1);
+        p.start_work(WorkerId(9), t(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_start_work_panics() {
+        let mut p = RetainerPool::new(1);
+        p.join(WorkerId(0), t(0));
+        p.start_work(WorkerId(0), t(1));
+        p.start_work(WorkerId(0), t(2));
+    }
+}

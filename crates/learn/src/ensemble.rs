@@ -1,0 +1,258 @@
+//! Ensembles over the base learners — the paper's "future directions"
+//! extension (§7): "hybrid learning simply trains a single model on the
+//! points labeled by active and passive learners. We would like to
+//! investigate whether better models can be trained by keeping the points
+//! separate and using more sophisticated machine learning techniques such
+//! as model averaging or ensembling."
+//!
+//! Two shapes are provided:
+//!
+//! * [`ModelAverage`] — keep the actively- and passively-labeled points
+//!   separate, train one model on each, and average their predictive
+//!   distributions with a tunable blend.
+//! * [`BaggedEnsemble`] — bootstrap-resample the pooled training set into
+//!   `k` members and average their probabilities (plain bagging).
+
+use crate::linalg::Matrix;
+use crate::model::{Classifier, Example, SgdConfig};
+use crate::logistic::LogisticRegression;
+use crate::softmax::SoftmaxRegression;
+use clamshell_sim::rng::Rng;
+
+fn fresh(n_classes: u32, sgd: SgdConfig) -> Box<dyn Classifier> {
+    if n_classes == 2 {
+        Box::new(LogisticRegression::new(sgd))
+    } else {
+        Box::new(SoftmaxRegression::new(n_classes, sgd))
+    }
+}
+
+/// Average of an "active" model and a "passive" model, each trained on
+/// its own split of the labels (§7's model-averaging suggestion).
+pub struct ModelAverage {
+    n_classes: u32,
+    sgd: SgdConfig,
+    /// Weight of the active model's probabilities in `[0, 1]`.
+    pub active_weight: f64,
+    active: Box<dyn Classifier>,
+    passive: Box<dyn Classifier>,
+}
+
+impl ModelAverage {
+    /// Build an untrained averaged pair.
+    pub fn new(n_classes: u32, sgd: SgdConfig, active_weight: f64) -> Self {
+        assert!((0.0..=1.0).contains(&active_weight));
+        ModelAverage {
+            n_classes,
+            sgd,
+            active_weight,
+            active: fresh(n_classes, sgd),
+            passive: fresh(n_classes, sgd),
+        }
+    }
+
+    /// Train from the two label pools kept separate.
+    pub fn fit_split(&mut self, x: &Matrix, active: &[Example], passive: &[Example]) {
+        self.active = fresh(self.n_classes, self.sgd);
+        self.passive = fresh(self.n_classes, self.sgd);
+        self.active.fit(x, active);
+        self.passive.fit(x, passive);
+    }
+}
+
+impl Classifier for ModelAverage {
+    /// Fitting on a pooled set trains both members identically; prefer
+    /// [`ModelAverage::fit_split`].
+    fn fit(&mut self, x: &Matrix, examples: &[Example]) {
+        self.fit_split(x, examples, examples);
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        match (self.active.is_fit(), self.passive.is_fit()) {
+            (true, false) => self.active.predict_proba(features),
+            (false, true) => self.passive.predict_proba(features),
+            _ => {
+                let a = self.active.predict_proba(features);
+                let p = self.passive.predict_proba(features);
+                let w = self.active_weight;
+                a.iter().zip(&p).map(|(ai, pi)| w * ai + (1.0 - w) * pi).collect()
+            }
+        }
+    }
+
+    fn n_classes(&self) -> u32 {
+        self.n_classes
+    }
+
+    fn is_fit(&self) -> bool {
+        self.active.is_fit() || self.passive.is_fit()
+    }
+}
+
+/// Bagging: `k` members trained on bootstrap resamples, probabilities
+/// averaged.
+pub struct BaggedEnsemble {
+    n_classes: u32,
+    sgd: SgdConfig,
+    k: usize,
+    seed: u64,
+    members: Vec<Box<dyn Classifier>>,
+}
+
+impl BaggedEnsemble {
+    /// Build an untrained bag of `k` members.
+    pub fn new(n_classes: u32, sgd: SgdConfig, k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "need at least one member");
+        BaggedEnsemble { n_classes, sgd, k, seed, members: Vec::new() }
+    }
+
+    /// Number of trained members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the bag is untrained.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl Classifier for BaggedEnsemble {
+    fn fit(&mut self, x: &Matrix, examples: &[Example]) {
+        self.members.clear();
+        if examples.is_empty() {
+            return;
+        }
+        let mut rng = Rng::new(self.seed);
+        for m in 0..self.k {
+            // Bootstrap resample with per-member SGD seed.
+            let sample: Vec<Example> = (0..examples.len())
+                .map(|_| examples[rng.index(examples.len())])
+                .collect();
+            let mut model = fresh(self.n_classes, SgdConfig {
+                seed: self.sgd.seed ^ (m as u64).wrapping_mul(0x9E37_79B9),
+                ..self.sgd
+            });
+            model.fit(x, &sample);
+            self.members.push(model);
+        }
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        if self.members.is_empty() {
+            return vec![1.0 / self.n_classes as f64; self.n_classes as usize];
+        }
+        let mut acc = vec![0.0; self.n_classes as usize];
+        for m in &self.members {
+            for (a, p) in acc.iter_mut().zip(m.predict_proba(features)) {
+                *a += p;
+            }
+        }
+        let inv = 1.0 / self.members.len() as f64;
+        for a in acc.iter_mut() {
+            *a *= inv;
+        }
+        acc
+    }
+
+    fn n_classes(&self) -> u32 {
+        self.n_classes
+    }
+
+    fn is_fit(&self) -> bool {
+        !self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::generate::{make_classification, GenConfig};
+    use crate::eval::{accuracy, train_test_split};
+
+    fn noisy_dataset(seed: u64) -> crate::Dataset {
+        make_classification(
+            &GenConfig {
+                n_samples: 400,
+                n_features: 12,
+                n_informative: 4,
+                n_redundant: 2,
+                class_sep: 1.0,
+                flip_y: 0.08,
+                ..Default::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn model_average_blends_probabilities() {
+        let ds = noisy_dataset(1);
+        let ex: Vec<Example> =
+            (0..200).map(|r| Example::new(r, ds.labels[r])).collect();
+        let (a, p) = ex.split_at(100);
+        let mut avg = ModelAverage::new(2, SgdConfig::default(), 0.5);
+        avg.fit_split(&ds.features, a, p);
+        assert!(avg.is_fit());
+        let probs = avg.predict_proba(ds.features.row(300));
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_average_with_one_empty_side_degrades_gracefully() {
+        let ds = noisy_dataset(2);
+        let ex: Vec<Example> = (0..100).map(|r| Example::new(r, ds.labels[r])).collect();
+        let mut avg = ModelAverage::new(2, SgdConfig::default(), 0.7);
+        avg.fit_split(&ds.features, &ex, &[]);
+        assert!(avg.is_fit());
+        // Falls back to the trained side only.
+        let (train, test) = train_test_split(ds.len(), 0.3, 2);
+        let _ = train; // avg already trained on the first 100 rows
+        let tl: Vec<u32> = test.iter().map(|&r| ds.labels[r]).collect();
+        assert!(accuracy(&avg, &ds.features, &test, &tl) > 0.6);
+    }
+
+    #[test]
+    fn bagging_matches_or_beats_single_model_on_noisy_data() {
+        let ds = noisy_dataset(3);
+        let (train, test) = train_test_split(ds.len(), 0.3, 3);
+        let ex: Vec<Example> =
+            train.iter().map(|&r| Example::new(r, ds.labels[r])).collect();
+        let tl: Vec<u32> = test.iter().map(|&r| ds.labels[r]).collect();
+
+        let mut single = LogisticRegression::new(SgdConfig::default());
+        single.fit(&ds.features, &ex);
+        let single_acc = accuracy(&single, &ds.features, &test, &tl);
+
+        let mut bag = BaggedEnsemble::new(2, SgdConfig::default(), 7, 3);
+        bag.fit(&ds.features, &ex);
+        assert_eq!(bag.len(), 7);
+        let bag_acc = accuracy(&bag, &ds.features, &test, &tl);
+
+        assert!(
+            bag_acc >= single_acc - 0.03,
+            "bagging should not lose: bag={bag_acc} single={single_acc}"
+        );
+    }
+
+    #[test]
+    fn unfit_ensembles_are_uniform() {
+        let bag = BaggedEnsemble::new(4, SgdConfig::default(), 3, 1);
+        assert!(!bag.is_fit());
+        let p = bag.predict_proba(&[0.0]);
+        assert!(p.iter().all(|&v| (v - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn bagging_is_deterministic() {
+        let ds = noisy_dataset(4);
+        let ex: Vec<Example> = (0..150).map(|r| Example::new(r, ds.labels[r])).collect();
+        let mut a = BaggedEnsemble::new(2, SgdConfig::default(), 3, 9);
+        let mut b = BaggedEnsemble::new(2, SgdConfig::default(), 3, 9);
+        a.fit(&ds.features, &ex);
+        b.fit(&ds.features, &ex);
+        for r in 200..210 {
+            assert_eq!(a.predict_proba(ds.features.row(r)), b.predict_proba(ds.features.row(r)));
+        }
+    }
+}

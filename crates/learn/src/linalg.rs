@@ -1,0 +1,231 @@
+//! Minimal dense linear algebra.
+//!
+//! The learners need exactly three kernels — dot products, scaled
+//! accumulation (axpy), and row access over a dense row-major matrix — so
+//! that is all we build. Everything is `f64`; feature counts in the
+//! reproduction top out at 3072 (the CIFAR-like task), well within scalar
+//! throughput for the training-set sizes involved (≤ a few thousand rows).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a flat row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/buffer mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from row slices.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(|x| x.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (feature dimensionality).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Flat data buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Append a row (must match `cols`, or set it if the matrix is empty).
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "push_row width mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    // Simple 4-lane unrolling: lets LLVM vectorize without fast-math.
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for j in chunks * 4..a.len() {
+        s += a[j] * b[j];
+    }
+    s
+}
+
+/// `y += alpha * x` over equal-length slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y *= alpha` in place.
+#[inline]
+pub fn scale(alpha: f64, y: &mut [f64]) {
+    for yi in y {
+        *yi *= alpha;
+    }
+}
+
+/// Numerically stable softmax over `logits`, written into `out`.
+pub fn softmax_into(logits: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(logits.len(), out.len());
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for (o, &l) in out.iter_mut().zip(logits) {
+        let e = (l - max).exp();
+        *o = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shape_and_access() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn push_row_grows() {
+        let mut m = Matrix::zeros(0, 0);
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_push_rejected() {
+        let mut m = Matrix::zeros(0, 0);
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0]);
+    }
+
+    #[test]
+    fn dot_matches_naive_for_odd_lengths() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 13] {
+            let a: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 14.0, 16.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, [6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let logits = [1000.0, 1001.0, 999.0];
+        let mut out = [0.0; 3];
+        softmax_into(&logits, &mut out);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(out.iter().all(|p| p.is_finite() && *p > 0.0));
+        assert!(out[1] > out[0] && out[0] > out[2]);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_extremes() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(800.0) <= 1.0);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+}

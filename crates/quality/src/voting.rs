@@ -1,0 +1,112 @@
+//! Redundancy-based vote aggregation.
+
+use serde::{Deserialize, Serialize};
+
+/// One worker's answer for one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vote {
+    /// Identifier of the voting worker (opaque here; `WorkerId.0` upstream).
+    pub worker: u32,
+    /// The label the worker chose.
+    pub label: u32,
+}
+
+/// Plurality vote over labels. Ties break toward the label that reached
+/// its final count *first* (stable for streaming use: the earliest-leading
+/// answer wins), which also makes the result invariant to label value.
+///
+/// Returns `None` on an empty vote set.
+pub fn majority_vote(votes: &[Vote]) -> Option<u32> {
+    majority_vote_weighted(votes, |_| 1.0)
+}
+
+/// Weighted plurality vote; weights typically come from worker-quality
+/// estimates ([`crate::em`]). Returns `None` on empty input or if all
+/// weights are zero.
+pub fn majority_vote_weighted<F: Fn(u32) -> f64>(votes: &[Vote], weight: F) -> Option<u32> {
+    if votes.is_empty() {
+        return None;
+    }
+    // label -> (total weight, first index at which it took its final value)
+    let mut tally: Vec<(u32, f64, usize)> = Vec::new();
+    for (i, v) in votes.iter().enumerate() {
+        let w = weight(v.worker).max(0.0);
+        match tally.iter_mut().find(|(l, _, _)| *l == v.label) {
+            Some(entry) => {
+                entry.1 += w;
+                entry.2 = i;
+            }
+            None => tally.push((v.label, w, i)),
+        }
+    }
+    tally
+        .into_iter()
+        .filter(|&(_, w, _)| w > 0.0)
+        // Max weight; ties -> earliest final update (smaller index wins),
+        // then smaller label, purely for determinism.
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.2.cmp(&a.2)).then(b.0.cmp(&a.0)))
+        .map(|(l, _, _)| l)
+}
+
+/// How many *additional* answers a quality-controlled task still needs
+/// before it is complete: `quorum − received`, saturating at zero.
+/// This is the quantity straggler mitigation keys off when deciding how
+/// many concurrent assignments a task may hold (§4.1).
+pub fn remaining_votes(quorum: u32, received: usize) -> u32 {
+    quorum.saturating_sub(received as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(worker: u32, label: u32) -> Vote {
+        Vote { worker, label }
+    }
+
+    #[test]
+    fn simple_majority() {
+        assert_eq!(majority_vote(&[v(0, 1), v(1, 1), v(2, 0)]), Some(1));
+        assert_eq!(majority_vote(&[v(0, 2)]), Some(2));
+        assert_eq!(majority_vote(&[]), None);
+    }
+
+    #[test]
+    fn majority_invariant_to_permutation() {
+        let votes = [v(0, 1), v(1, 1), v(2, 0), v(3, 1), v(4, 0)];
+        let mut perm = votes;
+        perm.reverse();
+        assert_eq!(majority_vote(&votes), majority_vote(&perm));
+        assert_eq!(majority_vote(&votes), Some(1));
+    }
+
+    #[test]
+    fn tie_breaks_toward_earlier_leader() {
+        // 0 and 1 each get two votes; label 0 completed its tally first.
+        assert_eq!(majority_vote(&[v(0, 0), v(1, 0), v(2, 1), v(3, 1)]), Some(0));
+        assert_eq!(majority_vote(&[v(0, 1), v(1, 1), v(2, 0), v(3, 0)]), Some(1));
+    }
+
+    #[test]
+    fn weighted_vote_respects_quality() {
+        // One expert (weight 3) outvotes two noisy workers (weight 1).
+        let votes = [v(0, 1), v(1, 0), v(2, 0)];
+        let res = majority_vote_weighted(&votes, |w| if w == 0 { 3.0 } else { 1.0 });
+        assert_eq!(res, Some(1));
+    }
+
+    #[test]
+    fn zero_weights_are_ignored() {
+        let votes = [v(0, 1), v(1, 0)];
+        assert_eq!(majority_vote_weighted(&votes, |w| if w == 0 { 0.0 } else { 1.0 }), Some(0));
+        assert_eq!(majority_vote_weighted(&votes, |_| 0.0), None);
+    }
+
+    #[test]
+    fn remaining_votes_saturates() {
+        assert_eq!(remaining_votes(3, 0), 3);
+        assert_eq!(remaining_votes(3, 2), 1);
+        assert_eq!(remaining_votes(3, 3), 0);
+        assert_eq!(remaining_votes(3, 5), 0);
+    }
+}

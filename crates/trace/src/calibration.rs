@@ -1,0 +1,101 @@
+//! Published summary statistics that the synthetic populations are fit to.
+//!
+//! Every constant below is quoted from the paper; tests in
+//! [`crate::population`] assert that sampled populations reproduce them
+//! within tolerance. Units: seconds unless suffixed otherwise.
+
+/// §2.1 — medical deployment, recruitment latency: "the min, median and
+/// standard deviation statistics were 5, 36, and 9 minutes, respectively."
+pub mod recruitment {
+    /// Minimum recruitment latency (5 minutes).
+    pub const MIN_SECS: f64 = 5.0 * 60.0;
+    /// Median recruitment latency (36 minutes).
+    pub const MEDIAN_SECS: f64 = 36.0 * 60.0;
+    /// Standard deviation of recruitment latency (9 minutes).
+    pub const STD_SECS: f64 = 9.0 * 60.0;
+}
+
+/// §2.1 — medical deployment, per-HIT completion time: "the median and
+/// standard deviation to complete a given HIT were 4 and 2 minutes,
+/// respectively, while the 90th percentiles are upwards of 1.1 and 3
+/// hours" (90th percentiles of per-worker means and per-worker stds).
+pub mod medical_work {
+    /// Median of per-worker mean HIT latency (4 minutes).
+    pub const MEAN_MEDIAN_SECS: f64 = 4.0 * 60.0;
+    /// 90th percentile of per-worker mean HIT latency (1.1 hours).
+    pub const MEAN_P90_SECS: f64 = 1.1 * 3600.0;
+    /// Median of per-worker latency std (2 minutes).
+    pub const STD_MEDIAN_SECS: f64 = 2.0 * 60.0;
+    /// 90th percentile of per-worker latency std (3 hours).
+    pub const STD_P90_SECS: f64 = 3.0 * 3600.0;
+    /// §4.1 — "the fastest worker (μ = 28.5 seconds)".
+    pub const FASTEST_MEAN_SECS: f64 = 28.5;
+    /// §4.1 — "the median worker (μ = 4 minutes)" (consistent with
+    /// MEAN_MEDIAN_SECS).
+    pub const MEDIAN_WORKER_MEAN_SECS: f64 = 4.0 * 60.0;
+    /// §2.1 — "The most and least consistent workers had standard
+    /// deviations of 4 minutes and 2.7 hours, respectively."
+    pub const MOST_CONSISTENT_STD_SECS: f64 = 4.0 * 60.0;
+    /// Least consistent worker std (2.7 hours).
+    pub const LEAST_CONSISTENT_STD_SECS: f64 = 2.7 * 3600.0;
+}
+
+/// §6.2 / Figures 5 & 8 — live-experiment per-label speed buckets:
+/// "fast (< 4 sec per label), medium (5−7 sec), or slow (≥ 8 sec)".
+pub mod live_work {
+    /// Upper bound of the "fast" bucket, seconds per label.
+    pub const FAST_BELOW_SECS: f64 = 4.0;
+    /// Lower bound of the "slow" bucket, seconds per label.
+    pub const SLOW_ABOVE_SECS: f64 = 8.0;
+    /// The paper's best pool-maintenance threshold for this workload
+    /// ("the optimal threshold is PM8").
+    pub const OPTIMAL_PM_THRESHOLD_SECS: f64 = 8.0;
+}
+
+/// §6.1 — live-experiment pricing: "Workers are paid $.05 / minute to wait
+/// … and $.02 / record to perform the work"; recruitment re-posts every 3
+/// minutes.
+pub mod pricing {
+    /// Retainer waiting wage, dollars per minute.
+    pub const WAIT_PER_MIN: f64 = 0.05;
+    /// Labeling wage, dollars per record.
+    pub const PER_RECORD: f64 = 0.02;
+    /// Recruitment re-posting period, seconds.
+    pub const REPOST_INTERVAL_SECS: f64 = 180.0;
+}
+
+/// Headline end-to-end numbers (§6.6) used as shape targets by the
+/// reproduction harness.
+pub mod headline {
+    /// "CLAMShell increases the labeling throughput by 7.24× compared to
+    /// Base-NR."
+    pub const THROUGHPUT_SPEEDUP: f64 = 7.24;
+    /// "CLAMShell reduces the variance of labeling by 151×."
+    pub const VARIANCE_REDUCTION: f64 = 151.0;
+    /// "...the absolute values are extremely low: 3.1 seconds vs. 475
+    /// seconds" (std of batch completion).
+    pub const CLAMSHELL_STD_SECS: f64 = 3.1;
+    /// Base-NR batch std, seconds.
+    pub const BASE_NR_STD_SECS: f64 = 475.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_internally_consistent() {
+        assert!(recruitment::MIN_SECS < recruitment::MEDIAN_SECS);
+        assert!(medical_work::MEAN_MEDIAN_SECS < medical_work::MEAN_P90_SECS);
+        assert!(medical_work::STD_MEDIAN_SECS < medical_work::STD_P90_SECS);
+        assert!(live_work::FAST_BELOW_SECS < live_work::SLOW_ABOVE_SECS);
+        assert_eq!(
+            medical_work::MEAN_MEDIAN_SECS,
+            medical_work::MEDIAN_WORKER_MEAN_SECS
+        );
+        assert!(
+            headline::BASE_NR_STD_SECS / headline::CLAMSHELL_STD_SECS
+                > headline::VARIANCE_REDUCTION
+        );
+    }
+}

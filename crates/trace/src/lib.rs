@@ -1,0 +1,32 @@
+//! # clamshell-trace
+//!
+//! Worker populations calibrated to the crowd deployments studied in the
+//! CLAMShell paper (Haas et al., VLDB 2015, §2.1 and §6.1).
+//!
+//! The paper's simulator replays traces of a ~60,000-task medical
+//! MTurk deployment: for each worker it extracts mean labeling latency
+//! `μ_i`, latency variance `σ_i²`, and mean accuracy `λ_i`, then samples a
+//! worker's latency per assignment i.i.d. from `N(μ_i, σ_i²)`.
+//! The raw traces are proprietary, so this crate instead provides
+//! *generative populations* fit to every summary statistic the paper
+//! publishes (see [`calibration`]) plus presets for controlled studies.
+//!
+//! * [`profile::WorkerProfile`] — the per-worker triple `(μ_i, σ_i, λ_i)`
+//!   plus retainer patience.
+//! * [`population::Population`] — distributions over profiles;
+//!   [`population::Population::medical`] reproduces the long-tailed
+//!   deployment of §2.1, [`population::Population::mturk_live`] matches the
+//!   seconds-per-label scale of the live experiments (§6.2–§6.4), and
+//!   [`population::Population::bimodal`] gives the two-worker-type model
+//!   used by the paper's TermEst derivation (§4.3).
+//! * [`cdf`] — per-worker mean/std CDFs: the data series behind Figure 2.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod cdf;
+pub mod population;
+pub mod profile;
+
+pub use population::Population;
+pub use profile::WorkerProfile;

@@ -1,0 +1,60 @@
+//! Quickstart: label a pile of records with the full CLAMShell stack and
+//! print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use clamshell::prelude::*;
+
+fn main() {
+    // A simulated crowd calibrated to the live-MTurk scale of the paper
+    // (§6.1): per-label latencies of a few seconds with a slow tail.
+    let population = Population::mturk_live();
+
+    // Full CLAMShell: retainer pool of 15, straggler mitigation, PM8 pool
+    // maintenance. `ng = 5` groups five records per task (the paper's
+    // "Medium" complexity).
+    let config = RunConfig {
+        pool_size: 15,
+        ng: 5,
+        n_classes: 2,
+        seed: 42,
+        ..Default::default()
+    }
+    .with_straggler()
+    .with_maintenance();
+
+    // 300 binary labeling tasks (1500 records), e.g. "is this review
+    // positive?", submitted in pool-sized batches (R = 1).
+    let tasks: Vec<TaskSpec> = (0..300)
+        .map(|i| TaskSpec::new(vec![(i % 2) as u32; 5]))
+        .collect();
+
+    println!("labeling {} records with CLAMShell...", 300 * 5);
+    let report = run_batched(config, population, tasks, 15);
+
+    let lat = report.task_latency_summary();
+    println!("  labels produced : {}", report.labels_produced());
+    println!("  wall-clock      : {:.1}s (simulated)", report.total_secs());
+    println!("  throughput      : {:.2} labels/s", report.throughput());
+    println!(
+        "  task latency    : mean {:.1}s  p50 {:.1}s  p95 {:.1}s  p99 {:.1}s",
+        lat.mean, lat.p50, lat.p95, lat.p99
+    );
+    println!(
+        "  batch variance  : {:.2}s mean per-batch std (straggler mitigation at work)",
+        report.mean_batch_std()
+    );
+    println!(
+        "  pool churn      : {} workers recruited, {} evicted by maintenance",
+        report.workers_recruited, report.workers_evicted
+    );
+    println!(
+        "  cost            : ${:.2} total (${:.2} work, ${:.2} waiting, ${:.2} recruitment)",
+        report.cost.total_usd(),
+        report.cost.work_micro as f64 / 1e6,
+        report.cost.wait_micro as f64 / 1e6,
+        report.cost.recruit_micro as f64 / 1e6,
+    );
+}
