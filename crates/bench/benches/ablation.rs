@@ -105,12 +105,7 @@ fn bench_ratio(c: &mut Criterion) {
                     ..Default::default()
                 };
                 let batch = cfg.batch_size_for_ratio(r);
-                black_box(run_batched(
-                    cfg,
-                    Population::mturk_live(),
-                    specs(60, 5),
-                    batch,
-                ))
+                black_box(run_batched(cfg, Population::mturk_live(), specs(60, 5), batch))
             })
         });
     }

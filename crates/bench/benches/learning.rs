@@ -29,12 +29,10 @@ fn bench_training(c: &mut Criterion) {
         });
     }
     let dg = digits(&DigitsConfig { n_samples: 300, ..Default::default() }, 2);
-    let dg_examples: Vec<Example> =
-        (0..dg.len()).map(|r| Example::new(r, dg.labels[r])).collect();
+    let dg_examples: Vec<Example> = (0..dg.len()).map(|r| Example::new(r, dg.labels[r])).collect();
     g.bench_function("softmax_fit_digits_300x784", |b| {
         b.iter(|| {
-            let mut m =
-                SoftmaxRegression::new(10, SgdConfig { epochs: 5, ..Default::default() });
+            let mut m = SoftmaxRegression::new(10, SgdConfig { epochs: 5, ..Default::default() });
             m.fit(&dg.features, &dg_examples);
             black_box(m.is_fit())
         })
@@ -48,8 +46,7 @@ fn bench_selection(c: &mut Criterion) {
         &GenConfig { n_samples: 5000, n_features: 50, n_informative: 10, ..Default::default() },
         3,
     );
-    let examples: Vec<Example> =
-        (0..500).map(|r| Example::new(r, ds.labels[r])).collect();
+    let examples: Vec<Example> = (0..500).map(|r| Example::new(r, ds.labels[r])).collect();
     let mut model = LogisticRegression::new(SgdConfig::default());
     model.fit(&ds.features, &examples);
     let unlabeled: Vec<usize> = (500..5000).collect();
@@ -85,9 +82,7 @@ fn bench_generation(c: &mut Criterion) {
         b.iter(|| black_box(make_classification(&GenConfig::default(), 5)))
     });
     g.bench_function("digits_100", |b| {
-        b.iter(|| {
-            black_box(digits(&DigitsConfig { n_samples: 100, ..Default::default() }, 6))
-        })
+        b.iter(|| black_box(digits(&DigitsConfig { n_samples: 100, ..Default::default() }, 6)))
     });
     g.finish();
 }

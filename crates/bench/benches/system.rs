@@ -75,9 +75,7 @@ fn bench_quality(c: &mut Criterion) {
             ds.observe(w, item, label);
         }
     }
-    g.bench_function("dawid_skene_500x5", |b| {
-        b.iter(|| black_box(ds.run(&EmConfig::default())))
-    });
+    g.bench_function("dawid_skene_500x5", |b| b.iter(|| black_box(ds.run(&EmConfig::default()))));
     g.finish();
 }
 

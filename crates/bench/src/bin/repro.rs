@@ -28,10 +28,8 @@ fn main() {
             }
             "--seeds" => {
                 i += 1;
-                let n: u64 = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seeds takes a count");
+                let n: u64 =
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--seeds takes a count");
                 opts.seeds = (1..=n).collect();
             }
             other if other.starts_with("--") => {
@@ -53,10 +51,7 @@ fn main() {
         return;
     }
 
-    println!(
-        "CLAMShell reproduction harness — seeds={:?} scale={}",
-        opts.seeds, opts.scale
-    );
+    println!("CLAMShell reproduction harness — seeds={:?} scale={}", opts.seeds, opts.scale);
     let mut ran = 0;
     for (name, _, f) in &all {
         if run_all || picked.iter().any(|p| p == name) {

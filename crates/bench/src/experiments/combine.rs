@@ -72,11 +72,8 @@ pub fn fig13(opts: &Opts) {
         let cfg = RunConfig { seed: opts.seeds[0], ..cfg };
         let reports = run_seeds(&cfg, &pop, &specs, 15, &[opts.seeds[0]]);
         let r = &reports[0];
-        let spans: Vec<f64> = r
-            .assignments
-            .iter()
-            .map(|a| a.end.since(a.start).as_secs_f64())
-            .collect();
+        let spans: Vec<f64> =
+            r.assignments.iter().map(|a| a.end.since(a.start).as_secs_f64()).collect();
         let median = clamshell_sim::stats::percentile(&spans, 0.5);
         let stragglers = spans.iter().filter(|&&s| s > 2.0 * median).count();
         let max = spans.iter().copied().fold(0.0, f64::max);
@@ -117,9 +114,7 @@ pub fn fig14(opts: &Opts) {
             ..Default::default()
         };
         let reports = run_seeds(&cfg, &pop, &specs, 15, &opts.seeds);
-        let rate = mean_of(&reports, |r| {
-            r.workers_evicted as f64 / r.batches.len().max(1) as f64
-        });
+        let rate = mean_of(&reports, |r| r.workers_evicted as f64 / r.batches.len().max(1) as f64);
         println!("  {name:<20} {rate:>17.2}");
         rates.push(rate);
     }

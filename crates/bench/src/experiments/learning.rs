@@ -16,24 +16,12 @@ fn sgd() -> SgdConfig {
 }
 
 fn run_strategy(ds: &Dataset, strategy: Strategy, budget: usize, seed: u64) -> f64 {
-    let run_cfg = RunConfig {
-        pool_size: 10,
-        ng: 1,
-        n_classes: ds.n_classes,
-        seed,
-        ..Default::default()
-    }
-    .with_straggler();
-    let learn_cfg = LearningConfig {
-        strategy,
-        label_budget: budget,
-        sgd: sgd(),
-        seed,
-        ..Default::default()
-    };
-    LearningRunner::new(ds, run_cfg, learn_cfg, Population::mturk_live())
-        .run()
-        .final_accuracy
+    let run_cfg =
+        RunConfig { pool_size: 10, ng: 1, n_classes: ds.n_classes, seed, ..Default::default() }
+            .with_straggler();
+    let learn_cfg =
+        LearningConfig { strategy, label_budget: budget, sgd: sgd(), seed, ..Default::default() };
+    LearningRunner::new(ds, run_cfg, learn_cfg, Population::mturk_live()).run().final_accuracy
 }
 
 /// Figure 15: AL / PL / HL across problem hardness × AL pool fraction on
@@ -85,26 +73,17 @@ pub fn fig16(opts: &Opts) {
     let budget = opts.n(400);
     let n_items = opts.n(1200);
     let sets: Vec<(Dataset, f64)> = vec![
-        (
-            objects(&ObjectsConfig { n_samples: n_items, ..Default::default() }, 21),
-            0.80,
-        ),
-        (
-            digits(&DigitsConfig { n_samples: n_items, ..Default::default() }, 22),
-            0.60,
-        ),
+        (objects(&ObjectsConfig { n_samples: n_items, ..Default::default() }, 21), 0.80),
+        (digits(&DigitsConfig { n_samples: n_items, ..Default::default() }, 22), 0.60),
     ];
     println!("  dataset   target   AL-time     PL-time     HL-time    final AL/PL/HL");
     for (ds, target) in &sets {
         let mut times = [f64::INFINITY; 3];
         let mut finals = [0.0f64; 3];
-        for (i, strat) in [
-            Strategy::Active { k: 5 },
-            Strategy::Passive,
-            Strategy::Hybrid { active_frac: 0.5 },
-        ]
-        .iter()
-        .enumerate()
+        for (i, strat) in
+            [Strategy::Active { k: 5 }, Strategy::Passive, Strategy::Hybrid { active_frac: 0.5 }]
+                .iter()
+                .enumerate()
         {
             let seed = opts.seeds[0];
             let run_cfg = RunConfig {
@@ -124,8 +103,7 @@ pub fn fig16(opts: &Opts) {
                 seed,
                 ..Default::default()
             };
-            let out =
-                LearningRunner::new(ds, run_cfg, learn_cfg, Population::mturk_live()).run();
+            let out = LearningRunner::new(ds, run_cfg, learn_cfg, Population::mturk_live()).run();
             times[i] = out.curve.time_to_accuracy(*target).unwrap_or(f64::INFINITY);
             finals[i] = out.final_accuracy;
         }
@@ -203,10 +181,8 @@ pub fn fig18(opts: &Opts) {
     println!("  time        Base-NR   Base-R   CLAMShell");
     for frac in [0.05, 0.1, 0.2, 0.4, 0.7, 1.0] {
         let t = horizon * frac;
-        let cells: Vec<String> = systems
-            .iter()
-            .map(|(_, c)| format!("{:.3}", c.accuracy_at_time(t)))
-            .collect();
+        let cells: Vec<String> =
+            systems.iter().map(|(_, c)| format!("{:.3}", c.accuracy_at_time(t))).collect();
         println!("  {t:>8.1}s   {}     {}    {}", cells[0], cells[1], cells[2]);
     }
     for (name, c) in &systems {

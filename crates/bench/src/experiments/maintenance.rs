@@ -11,13 +11,7 @@ use clamshell_sim::stats::{percentile, Summary};
 use clamshell_trace::Population;
 
 fn digit_cfg(ng: u32, maint: Option<MaintenanceConfig>) -> RunConfig {
-    RunConfig {
-        pool_size: 15,
-        ng,
-        n_classes: 10,
-        maintenance: maint,
-        ..Default::default()
-    }
+    RunConfig { pool_size: 15, ng, n_classes: 10, maintenance: maint, ..Default::default() }
 }
 
 /// The three task complexities of Table 3.
@@ -47,11 +41,7 @@ pub fn fig3(opts: &Opts) {
             let quartile = |r: &RunReport, f: f64| {
                 let series = r.labels_over_time();
                 let target = (r.labels_produced() as f64 * f) as u64;
-                series
-                    .iter()
-                    .find(|(_, c)| *c >= target)
-                    .map(|(t, _)| *t)
-                    .unwrap_or(0.0)
+                series.iter().find(|(_, c)| *c >= target).map(|(t, _)| *t).unwrap_or(0.0)
             };
             println!(
                 "  {name:<8} {label:<8} {:>8.1}   {:>8.1}   {:>8.1}   {:>9.1}",
@@ -77,16 +67,17 @@ pub fn fig4(opts: &Opts) {
     println!("  Ng       latency-PM8  latency-inf  speedup   cost-PM8   cost-inf   cost-delta");
     for (ng, name) in COMPLEXITIES {
         let specs = digit_specs(n_tasks, ng as usize);
-        let pm = run_seeds(&digit_cfg(ng, Some(MaintenanceConfig::pm8())), &pop, &specs, 15, &opts.seeds);
+        let pm = run_seeds(
+            &digit_cfg(ng, Some(MaintenanceConfig::pm8())),
+            &pop,
+            &specs,
+            15,
+            &opts.seeds,
+        );
         let no = run_seeds(&digit_cfg(ng, None), &pop, &specs, 15, &opts.seeds);
-        let (lat_pm, lat_no) = (
-            mean_of(&pm, |r| r.total_secs()),
-            mean_of(&no, |r| r.total_secs()),
-        );
-        let (cost_pm, cost_no) = (
-            mean_of(&pm, |r| r.cost.total_usd()),
-            mean_of(&no, |r| r.cost.total_usd()),
-        );
+        let (lat_pm, lat_no) = (mean_of(&pm, |r| r.total_secs()), mean_of(&no, |r| r.total_secs()));
+        let (cost_pm, cost_no) =
+            (mean_of(&pm, |r| r.cost.total_usd()), mean_of(&no, |r| r.cost.total_usd()));
         println!(
             "  {name:<8} {lat_pm:>10.1}s {lat_no:>11.1}s {:>8}  ${cost_pm:>8.2}  ${cost_no:>8.2}  {:>+9.1}%",
             ratio(lat_no, lat_pm),
@@ -109,13 +100,8 @@ pub fn fig5(opts: &Opts) {
     let bins = [(0u32, 3u32), (3, 8), (8, 20), (20, u32::MAX)];
     println!("  config   age-bin      tasks   %slow(>=8s/label)   p95 s/label");
     for (mcfg, label) in [(Some(MaintenanceConfig::pm8()), "PM8"), (None, "PMinf")] {
-        let reports = run_seeds(
-            &digit_cfg(5, mcfg),
-            &pop,
-            &digit_specs(n_tasks, 5),
-            15,
-            &opts.seeds,
-        );
+        let reports =
+            run_seeds(&digit_cfg(5, mcfg), &pop, &digit_specs(n_tasks, 5), 15, &opts.seeds);
         for (lo, hi) in bins {
             let mut lat: Vec<f64> = Vec::new();
             for r in &reports {
@@ -152,22 +138,15 @@ pub fn fig6(opts: &Opts) {
     let n_tasks = opts.n(500);
     let pop = Population::mturk_live();
     for (mcfg, label) in [(Some(MaintenanceConfig::pm8()), "PM8"), (None, "PMinf")] {
-        let reports = run_seeds(
-            &digit_cfg(5, mcfg),
-            &pop,
-            &digit_specs(n_tasks, 5),
-            15,
-            &opts.seeds,
-        );
+        let reports =
+            run_seeds(&digit_cfg(5, mcfg), &pop, &digit_specs(n_tasks, 5), 15, &opts.seeds);
         let mut all_mpl: Vec<f64> = Vec::new();
         for r in &reports {
             all_mpl.extend(r.batches.iter().map(|b| b.mpl));
         }
         let s = Summary::of(&all_mpl);
-        let early: Vec<f64> = reports
-            .iter()
-            .flat_map(|r| r.batches.iter().take(3).map(|b| b.mpl))
-            .collect();
+        let early: Vec<f64> =
+            reports.iter().flat_map(|r| r.batches.iter().take(3).map(|b| b.mpl)).collect();
         let late: Vec<f64> = reports
             .iter()
             .flat_map(|r| {
@@ -198,21 +177,13 @@ pub fn fig7(opts: &Opts) {
     println!("  PMl     replaced(total)  replaced/batch");
     let mut last = 0.0f64;
     for threshold in [32.0, 16.0, 8.0, 4.0, 2.0] {
-        let mcfg = MaintenanceConfig {
-            reserve_target: 5,
-            ..MaintenanceConfig::with_threshold(threshold)
-        };
-        let reports = run_seeds(
-            &digit_cfg(5, Some(mcfg)),
-            &pop,
-            &digit_specs(n_tasks, 5),
-            15,
-            &opts.seeds,
-        );
+        let mcfg =
+            MaintenanceConfig { reserve_target: 5, ..MaintenanceConfig::with_threshold(threshold) };
+        let reports =
+            run_seeds(&digit_cfg(5, Some(mcfg)), &pop, &digit_specs(n_tasks, 5), 15, &opts.seeds);
         let evicted = mean_of(&reports, |r| r.workers_evicted as f64);
-        let per_batch = mean_of(&reports, |r| {
-            r.workers_evicted as f64 / r.batches.len().max(1) as f64
-        });
+        let per_batch =
+            mean_of(&reports, |r| r.workers_evicted as f64 / r.batches.len().max(1) as f64);
         println!("  PM{threshold:<5} {evicted:>12.1}  {per_batch:>13.2}");
         // Qualitative check: replacement grows as the threshold falls.
         if evicted + 0.5 < last {
@@ -234,17 +205,10 @@ pub fn fig8(opts: &Opts) {
     let pop = Population::mturk_live();
     println!("  PMl     age-slice   p50     p95     p99   (s/label)");
     for threshold in [32.0, 16.0, 8.0, 4.0, 2.0] {
-        let mcfg = MaintenanceConfig {
-            reserve_target: 5,
-            ..MaintenanceConfig::with_threshold(threshold)
-        };
-        let reports = run_seeds(
-            &digit_cfg(5, Some(mcfg)),
-            &pop,
-            &digit_specs(n_tasks, 5),
-            15,
-            &opts.seeds,
-        );
+        let mcfg =
+            MaintenanceConfig { reserve_target: 5, ..MaintenanceConfig::with_threshold(threshold) };
+        let reports =
+            run_seeds(&digit_cfg(5, Some(mcfg)), &pop, &digit_specs(n_tasks, 5), 15, &opts.seeds);
         for (lo, hi, label) in [(0u32, 5u32, "<5"), (5, 15, "5-15"), (15, u32::MAX, "15+")] {
             let lat: Vec<f64> = reports
                 .iter()

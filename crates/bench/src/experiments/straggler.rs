@@ -37,14 +37,9 @@ pub fn fig9(opts: &Opts) {
             &opts.seeds,
         );
         let no = run_seeds(&base, &pop, &specs, batch, &opts.seeds);
-        let (s_sm, s_no) = (
-            mean_of(&sm, |x| x.mean_batch_std()),
-            mean_of(&no, |x| x.mean_batch_std()),
-        );
-        println!(
-            "  {r:<7} {batch:<7} {s_sm:>7.2}s  {s_no:>8.2}s  {:>9}",
-            ratio(s_no, s_sm)
-        );
+        let (s_sm, s_no) =
+            (mean_of(&sm, |x| x.mean_batch_std()), mean_of(&no, |x| x.mean_batch_std()));
+        println!("  {r:<7} {batch:<7} {s_sm:>7.2}s  {s_no:>8.2}s  {:>9}", ratio(s_no, s_sm));
     }
 }
 
@@ -71,10 +66,7 @@ pub fn fig10(opts: &Opts) {
             &opts.seeds,
         );
         let no = run_seeds(&base, &pop, &specs, batch, &opts.seeds);
-        let (t_sm, t_no) = (
-            mean_of(&sm, |x| x.total_secs()),
-            mean_of(&no, |x| x.total_secs()),
-        );
+        let (t_sm, t_no) = (mean_of(&sm, |x| x.total_secs()), mean_of(&no, |x| x.total_secs()));
         println!(
             "  {r:<7} {t_sm:>8.1}s  {t_no:>10.1}s  {:>8}  {:>10.2}",
             ratio(t_no, t_sm),
@@ -96,40 +88,26 @@ pub fn fig11(opts: &Opts) {
     let batch = 15; // R = 1
     let n_tasks = opts.n(150);
     let specs = binary_specs(n_tasks, 5);
-    let sm = run_seeds(
-        &cifar_cfg(Some(StragglerConfig::default())),
-        &pop,
-        &specs,
-        batch,
-        &opts.seeds,
-    );
+    let sm =
+        run_seeds(&cifar_cfg(Some(StragglerConfig::default())), &pop, &specs, batch, &opts.seeds);
     let no = run_seeds(&base, &pop, &specs, batch, &opts.seeds);
     println!(
         "  cost:     SM=${:.2}  NoSM=${:.2}  ratio={}  (paper: 1-2x increase)",
         mean_of(&sm, |x| x.cost.total_usd()),
         mean_of(&no, |x| x.cost.total_usd()),
-        ratio(
-            mean_of(&sm, |x| x.cost.total_usd()),
-            mean_of(&no, |x| x.cost.total_usd())
-        ),
+        ratio(mean_of(&sm, |x| x.cost.total_usd()), mean_of(&no, |x| x.cost.total_usd())),
     );
     println!(
         "  latency:  SM={:.1}s  NoSM={:.1}s  improvement={}  (paper: 2.5-5x)",
         mean_of(&sm, |x| x.total_secs()),
         mean_of(&no, |x| x.total_secs()),
-        ratio(
-            mean_of(&no, |x| x.total_secs()),
-            mean_of(&sm, |x| x.total_secs())
-        ),
+        ratio(mean_of(&no, |x| x.total_secs()), mean_of(&sm, |x| x.total_secs())),
     );
     println!(
         "  variance: SM-std={:.2}s  NoSM-std={:.2}s  improvement={}  (paper: 4-14x)",
         mean_of(&sm, |x| x.mean_batch_std()),
         mean_of(&no, |x| x.mean_batch_std()),
-        ratio(
-            mean_of(&no, |x| x.mean_batch_std()),
-            mean_of(&sm, |x| x.mean_batch_std())
-        ),
+        ratio(mean_of(&no, |x| x.mean_batch_std()), mean_of(&sm, |x| x.mean_batch_std())),
     );
     println!(
         "  termination rate under SM: {:.1}% of assignments",
@@ -169,10 +147,7 @@ pub fn routing(opts: &Opts) {
     }
     let best = results.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
     let worst = results.iter().map(|(_, t)| *t).fold(0.0, f64::max);
-    println!(
-        "  spread worst/best = {} (paper: no significant difference)",
-        ratio(worst, best)
-    );
+    println!("  spread worst/best = {} (paper: no significant difference)", ratio(worst, best));
 }
 
 /// §4.1 "Working with Quality Control": decoupled SM + voting vs naive
@@ -195,9 +170,7 @@ pub fn qcsm(opts: &Opts) {
             ..cifar_cfg(None)
         };
         let reports = run_seeds(&cfg, &pop, &specs, batch, &opts.seeds);
-        let per_task = mean_of(&reports, |r| {
-            r.assignments.len() as f64 / r.tasks.len() as f64
-        });
+        let per_task = mean_of(&reports, |r| r.assignments.len() as f64 / r.tasks.len() as f64);
         println!(
             "  {name:<11} {per_task:>16.2}   {:>12.2}s   ${:.2}",
             mean_of(&reports, |r| r.batch_makespan_summary().mean),

@@ -24,13 +24,13 @@ pub fn table2(_opts: &Opts) {
 /// Table 3: experimental parameters and where this reproduction exposes
 /// them.
 pub fn table3(_opts: &Opts) {
-    header(
-        "Table 3",
-        "Experimental parameters",
-        "PMl, SM, Np, Ng, R, Alg",
-    );
+    header("Table 3", "Experimental parameters", "PMl, SM, Np, Ng, R, Alg");
     let rows = [
-        ("PMl", "Latency threshold for pool maintenance", "MaintenanceConfig::threshold_per_label_secs"),
+        (
+            "PMl",
+            "Latency threshold for pool maintenance",
+            "MaintenanceConfig::threshold_per_label_secs",
+        ),
         ("SM", "Straggler mitigation on/off", "RunConfig::straggler (Option)"),
         ("Np", "Number of workers in the retainer pool", "RunConfig::pool_size"),
         ("Ng", "Task complexity: records grouped per HIT", "RunConfig::ng / TaskSpec::ng()"),

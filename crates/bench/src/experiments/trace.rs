@@ -33,16 +33,11 @@ pub fn fig2(opts: &Opts) {
         }
     }
     println!("  per-worker STD latency CDF (seconds):");
-    for (p, anchor) in [
-        (0.50, Some(medical_work::STD_MEDIAN_SECS)),
-        (0.90, Some(medical_work::STD_P90_SECS)),
-    ] {
+    for (p, anchor) in
+        [(0.50, Some(medical_work::STD_MEDIAN_SECS)), (0.90, Some(medical_work::STD_P90_SECS))]
+    {
         let v = cdfs.std_quantile(p);
-        println!(
-            "    p{:<4} {v:>10.1}s  {:>10.1}s",
-            (p * 100.0) as u32,
-            anchor.unwrap()
-        );
+        println!("    p{:<4} {v:>10.1}s  {:>10.1}s", (p * 100.0) as u32, anchor.unwrap());
     }
     let span = cdfs.mean_quantile(0.99) / cdfs.mean_quantile(0.05).max(1e-9);
     println!("  mean-latency spread p99/p5 = {span:.0}x (paper: 'tens of seconds to hours')");

@@ -31,16 +31,12 @@ impl Opts {
 
 /// Binary-classification task specs of `ng` records each.
 pub fn binary_specs(n_tasks: usize, ng: usize) -> Vec<TaskSpec> {
-    (0..n_tasks)
-        .map(|i| TaskSpec::new(vec![(i % 2) as u32; ng]))
-        .collect()
+    (0..n_tasks).map(|i| TaskSpec::new(vec![(i % 2) as u32; ng])).collect()
 }
 
 /// Ten-class task specs (the MNIST-like setting of Figure 3).
 pub fn digit_specs(n_tasks: usize, ng: usize) -> Vec<TaskSpec> {
-    (0..n_tasks)
-        .map(|i| TaskSpec::new((0..ng).map(|j| ((i + j) % 10) as u32).collect()))
-        .collect()
+    (0..n_tasks).map(|i| TaskSpec::new((0..ng).map(|j| ((i + j) % 10) as u32).collect())).collect()
 }
 
 /// Run one configuration over all seeds and return the reports.
@@ -121,13 +117,7 @@ mod tests {
     #[test]
     fn run_seeds_produces_one_report_per_seed() {
         let cfg = RunConfig { pool_size: 4, ..Default::default() };
-        let reports = run_seeds(
-            &cfg,
-            &Population::mturk_live(),
-            &binary_specs(4, 2),
-            4,
-            &[1, 2],
-        );
+        let reports = run_seeds(&cfg, &Population::mturk_live(), &binary_specs(4, 2), 4, &[1, 2]);
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().all(|r| r.tasks.len() == 4));
     }

@@ -62,7 +62,8 @@ pub fn run_open_market(
     assert!(market.session_tasks_mean >= 1.0, "sessions must average >= 1 task");
     let mut platform = SimPlatform::new(population, platform_cfg, seed);
     let mut rng = clamshell_sim::rng::Rng::new(seed ^ 0x0EE7_FEE7_0000_0001);
-    let interarrival = clamshell_sim::dist::Exponential::from_mean(60.0 / market.arrival_rate_per_min);
+    let interarrival =
+        clamshell_sim::dist::Exponential::from_mean(60.0 / market.arrival_rate_per_min);
 
     // (available-at, worker, tasks-left-in-session); min-heap by time.
     let mut heap: BinaryHeap<(std::cmp::Reverse<SimTime>, WorkerId, u32)> = BinaryHeap::new();
@@ -93,8 +94,8 @@ pub fn run_open_market(
         };
         if need_arrival {
             use clamshell_sim::dist::Sample;
-            next_arrival = next_arrival
-                + clamshell_sim::time::SimDuration::from_secs_f64(interarrival.sample(&mut rng));
+            next_arrival +=
+                clamshell_sim::time::SimDuration::from_secs_f64(interarrival.sample(&mut rng));
             let recruit_delay = platform.start_recruitment();
             let w = platform.worker_arrives();
             let session = sample_session(&mut rng);
@@ -188,10 +189,8 @@ pub fn run_base_nr(
     rng.shuffle(&mut rows);
     rows.truncate(budget);
 
-    let specs: Vec<TaskSpec> = rows
-        .iter()
-        .map(|&row| TaskSpec::for_rows(vec![row], vec![dataset.labels[row]]))
-        .collect();
+    let specs: Vec<TaskSpec> =
+        rows.iter().map(|&row| TaskSpec::for_rows(vec![row], vec![dataset.labels[row]])).collect();
     let report = run_open_market(
         population,
         clamshell_crowd::PlatformConfig::default(),
@@ -234,11 +233,7 @@ pub fn run_base_nr(
             };
             model.fit(&dataset.features, &labeled);
             let acc = accuracy(model.as_ref(), &dataset.features, &test_rows, &test_labels);
-            curve.push(
-                t.completed.as_secs_f64(),
-                labeled.len(),
-                acc,
-            );
+            curve.push(t.completed.as_secs_f64(), labeled.len(), acc);
         }
     }
 
@@ -255,13 +250,8 @@ pub fn run_base_r(
     sgd: SgdConfig,
     seed: u64,
 ) -> EndToEnd {
-    let run_cfg = RunConfig {
-        pool_size,
-        ng: 1,
-        n_classes: dataset.n_classes,
-        seed,
-        ..Default::default()
-    };
+    let run_cfg =
+        RunConfig { pool_size, ng: 1, n_classes: dataset.n_classes, seed, ..Default::default() };
     let learn_cfg = LearningConfig {
         strategy: Strategy::Active { k: (pool_size / 2).max(1) },
         label_budget: budget,
@@ -270,8 +260,7 @@ pub fn run_base_r(
         seed,
         ..Default::default()
     };
-    let out: LearningOutcome =
-        LearningRunner::new(dataset, run_cfg, learn_cfg, population).run();
+    let out: LearningOutcome = LearningRunner::new(dataset, run_cfg, learn_cfg, population).run();
     EndToEnd { name: "Base-R", curve: out.curve, report: out.report }
 }
 
@@ -285,15 +274,10 @@ pub fn run_clamshell(
     sgd: SgdConfig,
     seed: u64,
 ) -> EndToEnd {
-    let run_cfg = RunConfig {
-        pool_size,
-        ng: 1,
-        n_classes: dataset.n_classes,
-        seed,
-        ..Default::default()
-    }
-    .with_straggler()
-    .with_maintenance();
+    let run_cfg =
+        RunConfig { pool_size, ng: 1, n_classes: dataset.n_classes, seed, ..Default::default() }
+            .with_straggler()
+            .with_maintenance();
     let learn_cfg = LearningConfig {
         strategy: Strategy::Hybrid { active_frac: 0.5 },
         label_budget: budget,
@@ -302,8 +286,7 @@ pub fn run_clamshell(
         seed,
         ..Default::default()
     };
-    let out: LearningOutcome =
-        LearningRunner::new(dataset, run_cfg, learn_cfg, population).run();
+    let out: LearningOutcome = LearningRunner::new(dataset, run_cfg, learn_cfg, population).run();
     EndToEnd { name: "CLAMShell", curve: out.curve, report: out.report }
 }
 
@@ -317,9 +300,7 @@ pub fn headline_raw_labeling(
     seed: u64,
 ) -> (RunReport, RunReport) {
     let specs = |seed_off: u64| -> Vec<TaskSpec> {
-        (0..n_labels)
-            .map(|i| TaskSpec::new(vec![((i as u64 + seed_off) % 2) as u32]))
-            .collect()
+        (0..n_labels).map(|i| TaskSpec::new(vec![((i as u64 + seed_off) % 2) as u32])).collect()
     };
     let cfg = RunConfig { pool_size, ng: 1, seed, ..Default::default() }
         .with_straggler()
@@ -384,11 +365,7 @@ mod tests {
             OpenMarketConfig::default(),
             2,
         );
-        let first = r
-            .tasks
-            .iter()
-            .map(|t| t.completed.as_secs_f64())
-            .fold(f64::INFINITY, f64::min);
+        let first = r.tasks.iter().map(|t| t.completed.as_secs_f64()).fold(f64::INFINITY, f64::min);
         assert!(first >= floor, "first={first} floor={floor}");
     }
 

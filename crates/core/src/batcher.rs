@@ -85,10 +85,7 @@ impl Batcher {
     /// batch if the timeout trigger fires during the window. Returns the
     /// batch index if one was dispatched.
     pub fn idle(&mut self, dur: SimDuration) -> Option<usize> {
-        let deadline = self
-            .pending
-            .front()
-            .map(|p| p.arrived + self.config.max_delay);
+        let deadline = self.pending.front().map(|p| p.arrived + self.config.max_delay);
         let target = self.runner.now() + dur;
         match deadline {
             Some(d) if d <= target => {
@@ -151,8 +148,7 @@ mod tests {
     use clamshell_trace::Population;
 
     fn warmed_runner(seed: u64, pool: usize) -> Runner {
-        let cfg = RunConfig { pool_size: pool, ng: 1, seed, ..Default::default() }
-            .with_straggler();
+        let cfg = RunConfig { pool_size: pool, ng: 1, seed, ..Default::default() }.with_straggler();
         let mut r = Runner::new(cfg, Population::mturk_live());
         r.warm_up();
         r

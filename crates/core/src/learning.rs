@@ -150,10 +150,7 @@ impl<'d> LearningRunner<'d> {
         learn_cfg: LearningConfig,
         population: Population,
     ) -> Self {
-        assert_eq!(
-            run_cfg.n_classes, dataset.n_classes,
-            "config/dataset class-count mismatch"
-        );
+        assert_eq!(run_cfg.n_classes, dataset.n_classes, "config/dataset class-count mismatch");
         assert!(learn_cfg.label_budget > 0);
         LearningRunner { dataset, run_cfg, learn_cfg, population }
     }
@@ -177,8 +174,7 @@ impl<'d> LearningRunner<'d> {
     pub fn run(self) -> LearningOutcome {
         let (train_rows, test_rows) =
             self.dataset.split(self.learn_cfg.test_frac, self.learn_cfg.seed);
-        let test_labels: Vec<u32> =
-            test_rows.iter().map(|&r| self.dataset.labels[r]).collect();
+        let test_labels: Vec<u32> = test_rows.iter().map(|&r| self.dataset.labels[r]).collect();
 
         let mut runner = Runner::new(self.run_cfg.clone(), self.population.clone());
         runner.warm_up();
@@ -206,8 +202,7 @@ impl<'d> LearningRunner<'d> {
                 }
             }
             let now = runner.now();
-            let current: Option<&ModelVersion> =
-                versions.iter().rev().find(|v| v.ready_at <= now);
+            let current: Option<&ModelVersion> = versions.iter().rev().find(|v| v.ready_at <= now);
 
             let budget_left = self.learn_cfg.label_budget - labeled.len();
             let (active_k, passive_k) = match self.learn_cfg.strategy {
@@ -243,11 +238,8 @@ impl<'d> LearningRunner<'d> {
             }
             if passive_k > 0 {
                 // Random sample from the points not already picked.
-                let remaining: Vec<usize> = unlabeled
-                    .iter()
-                    .copied()
-                    .filter(|r| !picked.contains(r))
-                    .collect();
+                let remaining: Vec<usize> =
+                    unlabeled.iter().copied().filter(|r| !picked.contains(r)).collect();
                 picked.extend(select_random(&remaining, passive_k, &mut rng));
             }
             if picked.is_empty() {
@@ -263,12 +255,7 @@ impl<'d> LearningRunner<'d> {
 
             // Fold in the aggregated crowd answers.
             let k_frac = if pool > 0 { active_k as f64 / pool as f64 } else { 1.0 };
-            for (i, t) in runner
-                .tasks()
-                .iter()
-                .filter(|t| t.batch == batch)
-                .enumerate()
-            {
+            for (i, t) in runner.tasks().iter().filter(|t| t.batch == batch).enumerate() {
                 let row = t.spec.rows[0];
                 let label = t.final_labels.as_ref().expect("batch completed")[0];
                 label_map.insert(row, label);
@@ -293,12 +280,9 @@ impl<'d> LearningRunner<'d> {
                 let mut model = self.fresh_model();
                 model.fit(&self.dataset.features, &labeled);
                 let ready_at = runner.now() + self.decision_latency(labeled.len());
-                let acc = accuracy(model.as_ref(), &self.dataset.features, &test_rows, &test_labels);
-                curve.push(
-                    ready_at.since(run_start).as_secs_f64(),
-                    labeled.len(),
-                    acc,
-                );
+                let acc =
+                    accuracy(model.as_ref(), &self.dataset.features, &test_rows, &test_labels);
+                curve.push(ready_at.since(run_start).as_secs_f64(), labeled.len(), acc);
                 versions.push(ModelVersion { ready_at, model });
             }
         }
@@ -336,8 +320,8 @@ mod tests {
     }
 
     fn run_strategy(ds: &Dataset, strategy: Strategy, seed: u64) -> LearningOutcome {
-        let run_cfg = RunConfig { pool_size: 10, ng: 1, seed, ..Default::default() }
-            .with_straggler();
+        let run_cfg =
+            RunConfig { pool_size: 10, ng: 1, seed, ..Default::default() }.with_straggler();
         let learn_cfg = LearningConfig {
             strategy,
             label_budget: 150,
@@ -383,8 +367,7 @@ mod tests {
             let ds = dataset(1.8, seed);
             let al = run_strategy(&ds, Strategy::Active { k: 10 }, seed).final_accuracy;
             let pl = run_strategy(&ds, Strategy::Passive, seed).final_accuracy;
-            let hl =
-                run_strategy(&ds, Strategy::Hybrid { active_frac: 0.5 }, seed).final_accuracy;
+            let hl = run_strategy(&ds, Strategy::Hybrid { active_frac: 0.5 }, seed).final_accuracy;
             assert!(hl >= al.min(pl) - 0.05, "seed {seed}: hl={hl} al={al} pl={pl}");
             hl_sum += hl;
             floor_sum += al.min(pl);
@@ -416,10 +399,7 @@ mod tests {
         let out = run_strategy(&ds, Strategy::Hybrid { active_frac: 0.5 }, 6);
         assert_eq!(out.labels.len(), 150);
         // No row labeled twice (cache property).
-        assert_eq!(
-            out.labels.keys().collect::<std::collections::BTreeSet<_>>().len(),
-            150
-        );
+        assert_eq!(out.labels.keys().collect::<std::collections::BTreeSet<_>>().len(), 150);
     }
 
     #[test]
@@ -427,8 +407,7 @@ mod tests {
         // Pipelined retraining should never make the run take longer.
         let ds = dataset(1.5, 7);
         let mk = |async_retrain: bool| {
-            let run_cfg =
-                RunConfig { pool_size: 10, ng: 1, seed: 7, ..Default::default() };
+            let run_cfg = RunConfig { pool_size: 10, ng: 1, seed: 7, ..Default::default() };
             let learn_cfg = LearningConfig {
                 strategy: Strategy::Active { k: 10 },
                 label_budget: 100,
@@ -445,9 +424,6 @@ mod tests {
         };
         let async_secs = mk(true);
         let sync_secs = mk(false);
-        assert!(
-            async_secs <= sync_secs,
-            "async={async_secs} sync={sync_secs}"
-        );
+        assert!(async_secs <= sync_secs, "async={async_secs} sync={sync_secs}");
     }
 }

@@ -48,35 +48,28 @@ pub fn route(
     }
     match policy {
         RoutingPolicy::Random => eligible.get(rng.index(eligible.len())).copied(),
-        RoutingPolicy::LongestRunning => eligible
-            .iter()
-            .copied()
-            .min_by_key(|&t| {
+        RoutingPolicy::LongestRunning => eligible.iter().copied().min_by_key(|&t| {
+            tasks[t.0 as usize]
+                .active
+                .iter()
+                .map(|&a| assignments[a.0 as usize].start)
+                .min()
+                .unwrap_or(SimTime::MAX)
+        }),
+        RoutingPolicy::FewestWorkers => {
+            eligible.iter().copied().min_by_key(|&t| (tasks[t.0 as usize].active.len(), t))
+        }
+        RoutingPolicy::Oracle => eligible.iter().copied().max_by_key(|&t| {
+            (
                 tasks[t.0 as usize]
                     .active
                     .iter()
-                    .map(|&a| assignments[a.0 as usize].start)
+                    .map(|&a| assignments[a.0 as usize].planned_end)
                     .min()
-                    .unwrap_or(SimTime::MAX)
-            }),
-        RoutingPolicy::FewestWorkers => eligible
-            .iter()
-            .copied()
-            .min_by_key(|&t| (tasks[t.0 as usize].active.len(), t)),
-        RoutingPolicy::Oracle => eligible
-            .iter()
-            .copied()
-            .max_by_key(|&t| {
-                (
-                    tasks[t.0 as usize]
-                        .active
-                        .iter()
-                        .map(|&a| assignments[a.0 as usize].planned_end)
-                        .min()
-                        .unwrap_or(SimTime::ZERO),
-                    std::cmp::Reverse(t),
-                )
-            }),
+                    .unwrap_or(SimTime::ZERO),
+                std::cmp::Reverse(t),
+            )
+        }),
     }
 }
 
@@ -102,11 +95,8 @@ mod tests {
             terminated: None,
             completed: None,
         };
-        let assignments = vec![
-            mk_assign(0, 0, 0, 100),
-            mk_assign(1, 1, 5, 20),
-            mk_assign(2, 1, 6, 50),
-        ];
+        let assignments =
+            vec![mk_assign(0, 0, 0, 100), mk_assign(1, 1, 5, 20), mk_assign(2, 1, 6, 50)];
         let mut t0 = TaskState::new(TaskSpec::new(vec![0]), 0, t(0));
         t0.active.push(AssignmentId(0));
         let mut t1 = TaskState::new(TaskSpec::new(vec![0]), 0, t(0));
@@ -119,10 +109,7 @@ mod tests {
     fn empty_eligible_routes_nowhere() {
         let (tasks, assignments) = fixture();
         let mut rng = Rng::new(1);
-        assert_eq!(
-            route(RoutingPolicy::Random, &[], &tasks, &assignments, &mut rng),
-            None
-        );
+        assert_eq!(route(RoutingPolicy::Random, &[], &tasks, &assignments, &mut rng), None);
     }
 
     #[test]
@@ -157,13 +144,8 @@ mod tests {
     fn oracle_picks_latest_finishing() {
         let (tasks, assignments) = fixture();
         let mut rng = Rng::new(1);
-        let pick = route(
-            RoutingPolicy::Oracle,
-            &[TaskId(0), TaskId(1)],
-            &tasks,
-            &assignments,
-            &mut rng,
-        );
+        let pick =
+            route(RoutingPolicy::Oracle, &[TaskId(0), TaskId(1)], &tasks, &assignments, &mut rng);
         // Task 0's earliest completion is 100s; task 1's is 20s.
         assert_eq!(pick, Some(TaskId(0)));
     }

@@ -153,11 +153,7 @@ impl Maintainer {
         if s.started == 0 {
             return None;
         }
-        Some(if cfg.use_termest {
-            s.termest_mean(cfg.termest_alpha)
-        } else {
-            s.naive_mean()
-        })
+        Some(if cfg.use_termest { s.termest_mean(cfg.termest_alpha) } else { s.naive_mean() })
     }
 
     /// The eviction decision for one worker (§4.2): flag when the latency
@@ -244,8 +240,7 @@ mod tests {
 
     #[test]
     fn completion_tracking_per_label() {
-        let mut s = WorkerStats::default();
-        s.started = 2;
+        let mut s = WorkerStats { started: 2, ..Default::default() };
         s.record_completion(20.0, 5); // 4 s/label
         s.record_completion(30.0, 5); // 6 s/label
         assert!((s.naive_mean() - 5.0).abs() < 1e-12);
@@ -256,8 +251,7 @@ mod tests {
     fn termest_formula_matches_paper() {
         // N = 10 tasks, 6 terminated, terminators average lf = 3 s/label,
         // completed mean 4 s/label, α = 1.
-        let mut s = WorkerStats::default();
-        s.started = 10;
+        let mut s = WorkerStats { started: 10, ..Default::default() };
         for _ in 0..4 {
             s.record_completion(4.0, 1);
         }
@@ -274,8 +268,7 @@ mod tests {
     fn termest_handles_all_terminated() {
         // Worker never completed anything: N = T, Nc = 0. The α smoothing
         // avoids the divide-by-zero the paper calls out.
-        let mut s = WorkerStats::default();
-        s.started = 5;
+        let mut s = WorkerStats { started: 5, ..Default::default() };
         for _ in 0..5 {
             s.record_termination(Some(2.0));
         }
@@ -289,8 +282,7 @@ mod tests {
     fn termest_exceeds_naive_under_termination() {
         // The whole point of TermEst: terminated tasks hide slowness, so
         // the adjusted estimate must be >= the naive completed-only mean.
-        let mut s = WorkerStats::default();
-        s.started = 8;
+        let mut s = WorkerStats { started: 8, ..Default::default() };
         for _ in 0..3 {
             s.record_completion(5.0, 1);
         }

@@ -397,12 +397,8 @@ impl Runner {
                 .responses
                 .iter()
                 .map(|r| {
-                    let matched = r
-                        .labels
-                        .iter()
-                        .zip(&finals)
-                        .filter(|(a, b)| a == b)
-                        .count() as u64;
+                    let matched =
+                        r.labels.iter().zip(&finals).filter(|(a, b)| a == b).count() as u64;
                     (r.worker, matched, finals.len() as u64)
                 })
                 .collect();
@@ -436,10 +432,8 @@ impl Runner {
     /// concurrency to the new cap by terminating the longest-running
     /// (straggling) replicas.
     fn enforce_cap(&mut self, tid: TaskId, finisher: WorkerId) {
-        let remaining = self
-            .cfg
-            .quorum
-            .saturating_sub(self.tasks[tid.0 as usize].responses.len() as u32);
+        let remaining =
+            self.cfg.quorum.saturating_sub(self.tasks[tid.0 as usize].responses.len() as u32);
         let cap = self.concurrency_cap(remaining);
         loop {
             let task = &self.tasks[tid.0 as usize];
@@ -476,9 +470,7 @@ impl Runner {
             .stats(caused_by)
             .filter(|s| s.completed.count() > 0)
             .map(|s| s.completed.mean());
-        self.maintainer
-            .stats_mut(a.worker)
-            .record_termination(cause_mean);
+        self.maintainer.stats_mut(a.worker).record_termination(cause_mean);
 
         self.assignment_records.push(AssignmentRecord {
             task: a.task.0,
@@ -490,10 +482,8 @@ impl Runner {
         });
 
         // The worker clicks through the termination dialog, then is free.
-        self.queue.schedule(
-            now + self.cfg.platform.termination_overhead,
-            Event::WorkerFreed(a.worker),
-        );
+        self.queue
+            .schedule(now + self.cfg.platform.termination_overhead, Event::WorkerFreed(a.worker));
     }
 
     // ------------------------------------------------------------------
@@ -538,8 +528,7 @@ impl Runner {
             if task.completed_at.is_some() {
                 continue;
             }
-            let remaining =
-                self.cfg.quorum.saturating_sub(task.responses.len() as u32) as usize;
+            let remaining = self.cfg.quorum.saturating_sub(task.responses.len() as u32) as usize;
             if task.active.len() < remaining && !task.has_worker(w, &self.assignments) {
                 pick = Some(tid);
                 break;
@@ -558,21 +547,12 @@ impl Runner {
                         if task.completed_at.is_some() || task.active.is_empty() {
                             return false;
                         }
-                        let remaining = self
-                            .cfg
-                            .quorum
-                            .saturating_sub(task.responses.len() as u32);
+                        let remaining = self.cfg.quorum.saturating_sub(task.responses.len() as u32);
                         task.active.len() < self.concurrency_cap(remaining)
                             && !task.has_worker(w, &self.assignments)
                     })
                     .collect();
-                pick = route(
-                    sm.routing,
-                    &eligible,
-                    &self.tasks,
-                    &self.assignments,
-                    &mut self.rng,
-                );
+                pick = route(sm.routing, &eligible, &self.tasks, &self.assignments, &mut self.rng);
             }
         }
 
@@ -616,9 +596,7 @@ impl Runner {
     }
 
     fn batch_complete(&self) -> bool {
-        self.batch_tasks
-            .iter()
-            .all(|&tid| self.tasks[tid.0 as usize].completed_at.is_some())
+        self.batch_tasks.iter().all(|&tid| self.tasks[tid.0 as usize].completed_at.is_some())
     }
 
     // ------------------------------------------------------------------
@@ -628,11 +606,7 @@ impl Runner {
     /// Make sure enough recruitments are in flight to (eventually) fill
     /// the pool and, under maintenance, the reserve.
     fn ensure_recruitment(&mut self) {
-        let reserve_target = self
-            .cfg
-            .maintenance
-            .map(|m| m.reserve_target)
-            .unwrap_or(0);
+        let reserve_target = self.cfg.maintenance.map(|m| m.reserve_target).unwrap_or(0);
         let want = self.cfg.pool_size + reserve_target;
         let have = self.pool.len() + self.reserve.len() + self.recruits_in_flight;
         for _ in have..want {
@@ -779,10 +753,7 @@ mod tests {
     fn seeds_change_outcomes() {
         let a = run_batched(base_cfg(8), pop(), specs(16, 5), 8);
         let b = run_batched(base_cfg(9), pop(), specs(16, 5), 8);
-        assert_ne!(
-            serde_json::to_string(&a).unwrap(),
-            serde_json::to_string(&b).unwrap()
-        );
+        assert_ne!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
     }
 
     #[test]
@@ -843,10 +814,7 @@ mod tests {
             with += r1.batch_makespan_summary().mean;
             without += r2.batch_makespan_summary().mean;
         }
-        assert!(
-            without > with * 1.2,
-            "SM should speed batches: with={with} without={without}"
-        );
+        assert!(without > with * 1.2, "SM should speed batches: with={with} without={without}");
     }
 
     #[test]
@@ -868,12 +836,7 @@ mod tests {
         let mut seen: std::collections::HashMap<u32, Vec<WorkerId>> = Default::default();
         for a in &report.assignments {
             let entry = seen.entry(a.task).or_default();
-            assert!(
-                !entry.contains(&a.worker),
-                "worker {} duplicated task {}",
-                a.worker,
-                a.task
-            );
+            assert!(!entry.contains(&a.worker), "worker {} duplicated task {}", a.worker, a.task);
             entry.push(a.worker);
         }
     }

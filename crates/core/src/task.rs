@@ -124,10 +124,7 @@ impl TaskState {
     /// for this task (a worker never works the same task twice).
     pub fn has_worker(&self, worker: WorkerId, assignments: &[Assignment]) -> bool {
         self.responses.iter().any(|r| r.worker == worker)
-            || self
-                .active
-                .iter()
-                .any(|&a| assignments[a.0 as usize].worker == worker)
+            || self.active.iter().any(|&a| assignments[a.0 as usize].worker == worker)
     }
 
     /// Latency from batch start to completion (Figure 3/10's per-task
@@ -165,9 +162,7 @@ impl Assignment {
     /// Wall-clock span of the assignment as it actually ended (terminated
     /// early, completed, or `None` if still live).
     pub fn span(&self) -> Option<SimDuration> {
-        self.terminated
-            .or(self.completed)
-            .map(|end| end.since(self.start))
+        self.terminated.or(self.completed).map(|end| end.since(self.start))
     }
 }
 

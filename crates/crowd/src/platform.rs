@@ -153,10 +153,7 @@ impl SimPlatform {
     /// truth `truths`, each out of `n_classes`.
     pub fn sample_labels(&mut self, w: WorkerId, truths: &[u32], n_classes: u32) -> Vec<u32> {
         let rw = &mut self.workers[w.0 as usize];
-        truths
-            .iter()
-            .map(|&t| rw.profile.sample_label(t, n_classes, &mut rw.rng))
-            .collect()
+        truths.iter().map(|&t| rw.profile.sample_label(t, n_classes, &mut rw.rng)).collect()
     }
 
     /// Sample how long worker `w` will tolerate waiting idle before
@@ -165,8 +162,7 @@ impl SimPlatform {
         let rw = &mut self.workers[w.0 as usize];
         let mean = rw.profile.patience.as_secs_f64().max(1.0);
         SimDuration::from_secs_f64(
-            clamshell_sim::dist::Exponential::from_mean(mean)
-                .sample_with(&mut rw.rng),
+            clamshell_sim::dist::Exponential::from_mean(mean).sample_with(&mut rw.rng),
         )
     }
 
@@ -234,14 +230,10 @@ mod tests {
         let fast = p.register_worker(WorkerProfile::fixed(2.0, 0.2, 0.9));
         let slow = p.register_worker(WorkerProfile::fixed(20.0, 0.2, 0.9));
         let n = 2000;
-        let fmean: f64 = (0..n)
-            .map(|_| p.sample_task_duration(fast, 1).as_secs_f64())
-            .sum::<f64>()
-            / n as f64;
-        let smean: f64 = (0..n)
-            .map(|_| p.sample_task_duration(slow, 1).as_secs_f64())
-            .sum::<f64>()
-            / n as f64;
+        let fmean: f64 =
+            (0..n).map(|_| p.sample_task_duration(fast, 1).as_secs_f64()).sum::<f64>() / n as f64;
+        let smean: f64 =
+            (0..n).map(|_| p.sample_task_duration(slow, 1).as_secs_f64()).sum::<f64>() / n as f64;
         assert!((fmean - 2.0).abs() < 0.1, "fmean={fmean}");
         assert!((smean - 20.0).abs() < 0.5, "smean={smean}");
     }
@@ -265,16 +257,12 @@ mod tests {
             (p, a, b)
         };
         let (mut p1, a1, _) = mk();
-        let seq1: Vec<u64> = (0..10)
-            .map(|_| p1.sample_task_duration(a1, 1).as_millis())
-            .collect();
+        let seq1: Vec<u64> = (0..10).map(|_| p1.sample_task_duration(a1, 1).as_millis()).collect();
         let (mut p2, a2, b2) = mk();
         for _ in 0..500 {
             p2.sample_task_duration(b2, 1); // interleave other worker's draws
         }
-        let seq2: Vec<u64> = (0..10)
-            .map(|_| p2.sample_task_duration(a2, 1).as_millis())
-            .collect();
+        let seq2: Vec<u64> = (0..10).map(|_| p2.sample_task_duration(a2, 1).as_millis()).collect();
         assert_eq!(seq1, seq2);
     }
 
@@ -302,9 +290,7 @@ mod tests {
             let mut p = platform(42);
             p.start_recruitment();
             let w = p.worker_arrives();
-            (0..20)
-                .map(|_| p.sample_task_duration(w, 5).as_millis())
-                .collect::<Vec<_>>()
+            (0..20).map(|_| p.sample_task_duration(w, 5).as_millis()).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

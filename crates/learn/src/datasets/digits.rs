@@ -69,11 +69,8 @@ fn seg_dist(p: (f64, f64), s: Seg) -> f64 {
     let (px, py) = p;
     let (dx, dy) = (x2 - x1, y2 - y1);
     let len2 = dx * dx + dy * dy;
-    let t = if len2 == 0.0 {
-        0.0
-    } else {
-        (((px - x1) * dx + (py - y1) * dy) / len2).clamp(0.0, 1.0)
-    };
+    let t =
+        if len2 == 0.0 { 0.0 } else { (((px - x1) * dx + (py - y1) * dy) / len2).clamp(0.0, 1.0) };
     let (cx, cy) = (x1 + t * dx, y1 + t * dy);
     ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
 }
@@ -97,10 +94,7 @@ pub fn render_digit(digit: u32, cfg: &DigitsConfig, rng: &mut Rng) -> Vec<f64> {
             let y0 = (r as f64 + 0.5) / SIDE as f64;
             let x = (x0 - 0.5 - tx) / scale - shear * (y0 - 0.5) + 0.5;
             let y = (y0 - 0.5 - ty) / scale + 0.5;
-            let d = segs
-                .iter()
-                .map(|&s| seg_dist((x, y), s))
-                .fold(f64::INFINITY, f64::min);
+            let d = segs.iter().map(|&s| seg_dist((x, y), s)).fold(f64::INFINITY, f64::min);
             let v = intensity * (-(d * d) / (2.0 * stroke * stroke)).exp();
             let noise = cfg.pixel_noise * rng.next_gaussian();
             px[r * SIDE + c] = (v + noise).clamp(0.0, 1.0);
@@ -153,8 +147,7 @@ mod tests {
         // 500 labels.
         let ds = digits(&DigitsConfig { n_samples: 400, ..Default::default() }, 3);
         let (train, test) = train_test_split(ds.len(), 0.25, 3);
-        let ex: Vec<Example> =
-            train.iter().map(|&r| Example::new(r, ds.labels[r])).collect();
+        let ex: Vec<Example> = train.iter().map(|&r| Example::new(r, ds.labels[r])).collect();
         let mut m = SoftmaxRegression::new(
             10,
             SgdConfig { epochs: 20, learning_rate: 0.3, ..Default::default() },
@@ -167,14 +160,11 @@ mod tests {
 
     #[test]
     fn noise_hurts_separability() {
-        let clean =
-            digits(&DigitsConfig { n_samples: 300, pixel_noise: 0.02, jitter: 0.02 }, 4);
-        let noisy =
-            digits(&DigitsConfig { n_samples: 300, pixel_noise: 0.45, jitter: 0.18 }, 4);
+        let clean = digits(&DigitsConfig { n_samples: 300, pixel_noise: 0.02, jitter: 0.02 }, 4);
+        let noisy = digits(&DigitsConfig { n_samples: 300, pixel_noise: 0.45, jitter: 0.18 }, 4);
         let eval = |ds: &Dataset| {
             let (train, test) = train_test_split(ds.len(), 0.3, 4);
-            let ex: Vec<Example> =
-                train.iter().map(|&r| Example::new(r, ds.labels[r])).collect();
+            let ex: Vec<Example> = train.iter().map(|&r| Example::new(r, ds.labels[r])).collect();
             let mut m = SoftmaxRegression::new(
                 10,
                 SgdConfig { epochs: 15, learning_rate: 0.3, ..Default::default() },
@@ -184,10 +174,7 @@ mod tests {
             accuracy(&m, &ds.features, &test, &tl)
         };
         let (a_clean, a_noisy) = (eval(&clean), eval(&noisy));
-        assert!(
-            a_clean > a_noisy,
-            "noise should hurt: clean={a_clean} noisy={a_noisy}"
-        );
+        assert!(a_clean > a_noisy, "noise should hurt: clean={a_clean} noisy={a_noisy}");
     }
 
     #[test]

@@ -116,9 +116,7 @@ pub fn make_classification(cfg: &GenConfig, seed: u64) -> Dataset {
         .collect();
 
     // Redundant features: random combination matrix of informative ones.
-    let comb: Vec<f64> = (0..cfg.n_redundant * d_inf)
-        .map(|_| rng.next_gaussian() * 0.7)
-        .collect();
+    let comb: Vec<f64> = (0..cfg.n_redundant * d_inf).map(|_| rng.next_gaussian() * 0.7).collect();
 
     let mut features = Matrix::zeros(0, 0);
     let mut labels = Vec::with_capacity(cfg.n_samples);
@@ -216,12 +214,7 @@ mod tests {
 
     #[test]
     fn easy_problem_is_learnable() {
-        let cfg = GenConfig {
-            n_samples: 600,
-            class_sep: 2.0,
-            flip_y: 0.0,
-            ..Default::default()
-        };
+        let cfg = GenConfig { n_samples: 600, class_sep: 2.0, flip_y: 0.0, ..Default::default() };
         let acc = holdout_accuracy(&make_classification(&cfg, 3), 3);
         assert!(acc > 0.9, "acc={acc}");
     }
@@ -230,21 +223,13 @@ mod tests {
     fn hardness_monotonically_degrades_accuracy() {
         let easy = holdout_accuracy(&make_classification(&GenConfig::with_hardness(0), 4), 4);
         let hard = holdout_accuracy(&make_classification(&GenConfig::with_hardness(3), 4), 4);
-        assert!(
-            easy > hard + 0.05,
-            "hardness should matter: easy={easy} hard={hard}"
-        );
+        assert!(easy > hard + 0.05, "hardness should matter: easy={easy} hard={hard}");
         assert!(hard > 0.5, "hard problems remain above chance: {hard}");
     }
 
     #[test]
     fn flip_y_bounds_achievable_accuracy() {
-        let cfg = GenConfig {
-            n_samples: 800,
-            class_sep: 3.0,
-            flip_y: 0.3,
-            ..Default::default()
-        };
+        let cfg = GenConfig { n_samples: 800, class_sep: 3.0, flip_y: 0.3, ..Default::default() };
         let acc = holdout_accuracy(&make_classification(&cfg, 5), 5);
         // With 30% random labels, ~15% of test labels disagree with the
         // Bayes classifier; accuracy can't be near 1.
@@ -264,12 +249,8 @@ mod tests {
 
     #[test]
     fn multiclass_generation() {
-        let cfg = GenConfig {
-            n_samples: 300,
-            n_classes: 4,
-            n_informative: 6,
-            ..Default::default()
-        };
+        let cfg =
+            GenConfig { n_samples: 300, n_classes: 4, n_informative: 6, ..Default::default() };
         let ds = make_classification(&cfg, 11);
         ds.validate();
         assert_eq!(ds.class_counts().len(), 4);
@@ -278,12 +259,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_too_many_special_features() {
-        let cfg = GenConfig {
-            n_features: 5,
-            n_informative: 4,
-            n_redundant: 4,
-            ..Default::default()
-        };
+        let cfg =
+            GenConfig { n_features: 5, n_informative: 4, n_redundant: 4, ..Default::default() };
         let _ = make_classification(&cfg, 1);
     }
 }

@@ -58,14 +58,8 @@ impl Dataset {
     pub fn validate(&self) {
         assert_eq!(self.features.rows(), self.labels.len(), "rows/labels mismatch");
         assert!(self.n_classes >= 2, "need >= 2 classes");
-        assert!(
-            self.labels.iter().all(|&l| l < self.n_classes),
-            "label out of range"
-        );
-        assert!(
-            self.features.as_slice().iter().all(|v| v.is_finite()),
-            "non-finite feature"
-        );
+        assert!(self.labels.iter().all(|&l| l < self.n_classes), "label out of range");
+        assert!(self.features.as_slice().iter().all(|v| v.is_finite()), "non-finite feature");
     }
 
     /// Per-class item counts.

@@ -208,8 +208,7 @@ mod tests {
     fn linearly_learnable_but_not_trivial() {
         let ds = objects(&ObjectsConfig { n_samples: 300, ..Default::default() }, 3);
         let (train, test) = train_test_split(ds.len(), 0.3, 3);
-        let ex: Vec<Example> =
-            train.iter().map(|&r| Example::new(r, ds.labels[r])).collect();
+        let ex: Vec<Example> = train.iter().map(|&r| Example::new(r, ds.labels[r])).collect();
         let mut m = LogisticRegression::new(SgdConfig {
             epochs: 15,
             learning_rate: 0.05,

@@ -14,8 +14,8 @@
 //!   `k` members and average their probabilities (plain bagging).
 
 use crate::linalg::Matrix;
-use crate::model::{Classifier, Example, SgdConfig};
 use crate::logistic::LogisticRegression;
+use crate::model::{Classifier, Example, SgdConfig};
 use crate::softmax::SoftmaxRegression;
 use clamshell_sim::rng::Rng;
 
@@ -126,13 +126,15 @@ impl Classifier for BaggedEnsemble {
         let mut rng = Rng::new(self.seed);
         for m in 0..self.k {
             // Bootstrap resample with per-member SGD seed.
-            let sample: Vec<Example> = (0..examples.len())
-                .map(|_| examples[rng.index(examples.len())])
-                .collect();
-            let mut model = fresh(self.n_classes, SgdConfig {
-                seed: self.sgd.seed ^ (m as u64).wrapping_mul(0x9E37_79B9),
-                ..self.sgd
-            });
+            let sample: Vec<Example> =
+                (0..examples.len()).map(|_| examples[rng.index(examples.len())]).collect();
+            let mut model = fresh(
+                self.n_classes,
+                SgdConfig {
+                    seed: self.sgd.seed ^ (m as u64).wrapping_mul(0x9E37_79B9),
+                    ..self.sgd
+                },
+            );
             model.fit(x, &sample);
             self.members.push(model);
         }
@@ -188,8 +190,7 @@ mod tests {
     #[test]
     fn model_average_blends_probabilities() {
         let ds = noisy_dataset(1);
-        let ex: Vec<Example> =
-            (0..200).map(|r| Example::new(r, ds.labels[r])).collect();
+        let ex: Vec<Example> = (0..200).map(|r| Example::new(r, ds.labels[r])).collect();
         let (a, p) = ex.split_at(100);
         let mut avg = ModelAverage::new(2, SgdConfig::default(), 0.5);
         avg.fit_split(&ds.features, a, p);
@@ -216,8 +217,7 @@ mod tests {
     fn bagging_matches_or_beats_single_model_on_noisy_data() {
         let ds = noisy_dataset(3);
         let (train, test) = train_test_split(ds.len(), 0.3, 3);
-        let ex: Vec<Example> =
-            train.iter().map(|&r| Example::new(r, ds.labels[r])).collect();
+        let ex: Vec<Example> = train.iter().map(|&r| Example::new(r, ds.labels[r])).collect();
         let tl: Vec<u32> = test.iter().map(|&r| ds.labels[r]).collect();
 
         let mut single = LogisticRegression::new(SgdConfig::default());

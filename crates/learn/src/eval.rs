@@ -16,11 +16,7 @@ pub fn accuracy<C: Classifier + ?Sized>(
     if rows.is_empty() {
         return 0.0;
     }
-    let correct = rows
-        .iter()
-        .zip(labels)
-        .filter(|(&r, &y)| model.predict(x.row(r)) == y)
-        .count();
+    let correct = rows.iter().zip(labels).filter(|(&r, &y)| model.predict(x.row(r)) == y).count();
     correct as f64 / rows.len() as f64
 }
 
@@ -73,18 +69,12 @@ impl LearningCurve {
     /// First simulated time at which accuracy reached `threshold`
     /// (Figure 17's metric), or `None` if never reached.
     pub fn time_to_accuracy(&self, threshold: f64) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|p| p.test_accuracy >= threshold)
-            .map(|p| p.time_secs)
+        self.points.iter().find(|p| p.test_accuracy >= threshold).map(|p| p.time_secs)
     }
 
     /// First label count at which accuracy reached `threshold`.
     pub fn labels_to_accuracy(&self, threshold: f64) -> Option<usize> {
-        self.points
-            .iter()
-            .find(|p| p.test_accuracy >= threshold)
-            .map(|p| p.labels_acquired)
+        self.points.iter().find(|p| p.test_accuracy >= threshold).map(|p| p.labels_acquired)
     }
 
     /// Area under the (labels, accuracy) curve, normalized by the label

@@ -57,8 +57,7 @@ impl Classifier for LogisticRegression {
         let mut lr = self.config.learning_rate;
         // Normalize weights so the effective learning rate is insensitive
         // to the absolute weight scale.
-        let mean_w: f64 =
-            examples.iter().map(|e| e.weight).sum::<f64>() / examples.len() as f64;
+        let mean_w: f64 = examples.iter().map(|e| e.weight).sum::<f64>() / examples.len() as f64;
         let wnorm = if mean_w > 0.0 { 1.0 / mean_w } else { 1.0 };
 
         for _epoch in 0..self.config.epochs {

@@ -43,11 +43,7 @@ impl Uncertainty {
                 }
                 -(top - second)
             }
-            Uncertainty::Entropy => probs
-                .iter()
-                .filter(|&&p| p > 0.0)
-                .map(|&p| -p * p.ln())
-                .sum(),
+            Uncertainty::Entropy => probs.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum(),
         }
     }
 }
@@ -79,10 +75,7 @@ pub fn select_uncertain<C: Classifier + ?Sized>(
     let cand: Vec<usize> = if unlabeled.len() <= sample_size {
         unlabeled.to_vec()
     } else {
-        rng.sample_indices(unlabeled.len(), sample_size)
-            .into_iter()
-            .map(|i| unlabeled[i])
-            .collect()
+        rng.sample_indices(unlabeled.len(), sample_size).into_iter().map(|i| unlabeled[i]).collect()
     };
     let mut scored: Vec<(f64, usize)> = cand
         .into_iter()
@@ -97,10 +90,7 @@ pub fn select_uncertain<C: Classifier + ?Sized>(
 /// Uniformly sample `k` distinct points from `unlabeled` (passive
 /// learning's selection).
 pub fn select_random(unlabeled: &[usize], k: usize, rng: &mut Rng) -> Vec<usize> {
-    rng.sample_indices(unlabeled.len(), k)
-        .into_iter()
-        .map(|i| unlabeled[i])
-        .collect()
+    rng.sample_indices(unlabeled.len(), k).into_iter().map(|i| unlabeled[i]).collect()
 }
 
 #[cfg(test)]
@@ -155,15 +145,8 @@ mod tests {
         let (m, x) = fitted_model();
         let unlabeled = vec![40, 41, 42, 43, 44, 45];
         let mut rng = Rng::new(1);
-        let picked = select_uncertain(
-            &m,
-            &x,
-            &unlabeled,
-            3,
-            100,
-            Uncertainty::LeastConfidence,
-            &mut rng,
-        );
+        let picked =
+            select_uncertain(&m, &x, &unlabeled, 3, 100, Uncertainty::LeastConfidence, &mut rng);
         assert_eq!(picked.len(), 3);
         // The three nearest-to-boundary rows are 41 (-0.05), 44 (0.02),
         // 42 (0.1).
@@ -178,15 +161,8 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
         let unlabeled = vec![0, 1, 2];
         let mut rng = Rng::new(2);
-        let picked = select_uncertain(
-            &m,
-            &x,
-            &unlabeled,
-            2,
-            10,
-            Uncertainty::LeastConfidence,
-            &mut rng,
-        );
+        let picked =
+            select_uncertain(&m, &x, &unlabeled, 2, 10, Uncertainty::LeastConfidence, &mut rng);
         assert_eq!(picked.len(), 2);
         assert!(picked.iter().all(|p| unlabeled.contains(p)));
     }
@@ -196,8 +172,7 @@ mod tests {
         let (m, x) = fitted_model();
         let mut rng = Rng::new(3);
         assert!(select_uncertain(&m, &x, &[], 5, 10, Uncertainty::Margin, &mut rng).is_empty());
-        let picked =
-            select_uncertain(&m, &x, &[40, 41], 5, 10, Uncertainty::Margin, &mut rng);
+        let picked = select_uncertain(&m, &x, &[40, 41], 5, 10, Uncertainty::Margin, &mut rng);
         assert_eq!(picked.len(), 2);
     }
 

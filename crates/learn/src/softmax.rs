@@ -38,8 +38,8 @@ impl SoftmaxRegression {
     }
 
     fn logits_into(&self, features: &[f64], out: &mut [f64]) {
-        for c in 0..self.n_classes as usize {
-            out[c] = dot(self.class_weights(c), features) + self.bias[c];
+        for (c, logit) in out.iter_mut().enumerate().take(self.n_classes as usize) {
+            *logit = dot(self.class_weights(c), features) + self.bias[c];
         }
     }
 }
@@ -58,8 +58,7 @@ impl Classifier for SoftmaxRegression {
         let mut order: Vec<usize> = (0..examples.len()).collect();
         let mut rng = Rng::new(self.config.seed);
         let mut lr = self.config.learning_rate;
-        let mean_w: f64 =
-            examples.iter().map(|e| e.weight).sum::<f64>() / examples.len() as f64;
+        let mean_w: f64 = examples.iter().map(|e| e.weight).sum::<f64>() / examples.len() as f64;
         let wnorm = if mean_w > 0.0 { 1.0 / mean_w } else { 1.0 };
 
         let mut logits = vec![0.0; k];
@@ -80,8 +79,8 @@ impl Classifier for SoftmaxRegression {
                     );
                     let row = x.row(ex.row);
                     // Forward.
-                    for c in 0..k {
-                        logits[c] = dot(&self.weights[c * d..(c + 1) * d], row) + self.bias[c];
+                    for (c, logit) in logits.iter_mut().enumerate().take(k) {
+                        *logit = dot(&self.weights[c * d..(c + 1) * d], row) + self.bias[c];
                     }
                     softmax_into(&logits, &mut probs);
                     // Backward: grad = (p - onehot(y)) ⊗ row.

@@ -49,10 +49,7 @@ impl AgreementTracker {
                 }
             }
         }
-        agree
-            .into_iter()
-            .map(|(w, (m, t))| (w, m as f64 / t as f64))
-            .collect()
+        agree.into_iter().map(|(w, (m, t))| (w, m as f64 / t as f64)).collect()
     }
 
     /// Mean pairwise agreement across all workers (a pool-quality scalar).

@@ -83,11 +83,7 @@ impl ConfusionEm {
         let off0 = (1.0 - diag0) / (k as f64 - 1.0);
         let mut confusion: Vec<Vec<f64>> = workers
             .iter()
-            .map(|_| {
-                (0..k * k)
-                    .map(|i| if i % (k + 1) == 0 { diag0 } else { off0 })
-                    .collect()
-            })
+            .map(|_| (0..k * k).map(|i| if i % (k + 1) == 0 { diag0 } else { off0 }).collect())
             .collect();
         let mut priors = vec![1.0 / k as f64; k];
         let mut post = vec![vec![1.0 / k as f64; k]; items.len()];
@@ -134,8 +130,7 @@ impl ConfusionEm {
                 *pr = pc / prior_total;
             }
 
-            let mut counts: Vec<Vec<f64>> =
-                workers.iter().map(|_| vec![alpha; k * k]).collect();
+            let mut counts: Vec<Vec<f64>> = workers.iter().map(|_| vec![alpha; k * k]).collect();
             for &(worker, item, label) in &self.obs {
                 let p = &post[item_index[&item]];
                 let cw = &mut counts[worker_index[&worker]];
@@ -174,22 +169,13 @@ impl ConfusionEm {
             .iter()
             .map(|&w| {
                 let pi = &confusion[worker_index[&w]];
-                let acc: f64 =
-                    (0..k).map(|c| priors[c] * pi[c * k + c]).sum::<f64>();
+                let acc: f64 = (0..k).map(|c| priors[c] * pi[c * k + c]).sum::<f64>();
                 (w, acc)
             })
             .collect();
-        let confusion_map = workers
-            .iter()
-            .map(|&w| (w, confusion[worker_index[&w]].clone()))
-            .collect();
-        ConfusionResult {
-            labels,
-            confusion: confusion_map,
-            worker_accuracy,
-            priors,
-            iterations,
-        }
+        let confusion_map =
+            workers.iter().map(|&w| (w, confusion[worker_index[&w]].clone())).collect();
+        ConfusionResult { labels, confusion: confusion_map, worker_accuracy, priors, iterations }
     }
 }
 
@@ -208,14 +194,26 @@ mod tests {
             for (i, &t) in truth.iter().enumerate() {
                 let label = match t {
                     0 => {
-                        if rng.bernoulli(0.95) { 0 } else { 1 }
+                        if rng.bernoulli(0.95) {
+                            0
+                        } else {
+                            1
+                        }
                     }
                     1 => {
                         // Confuses 1 with 2 forty percent of the time.
-                        if rng.bernoulli(0.6) { 1 } else { 2 }
+                        if rng.bernoulli(0.6) {
+                            1
+                        } else {
+                            2
+                        }
                     }
                     _ => {
-                        if rng.bernoulli(0.9) { 2 } else { 0 }
+                        if rng.bernoulli(0.9) {
+                            2
+                        } else {
+                            0
+                        }
                     }
                 };
                 em.observe(w, i as u32, label);
@@ -228,12 +226,9 @@ mod tests {
     fn recovers_labels_under_asymmetric_noise() {
         let (em, truth) = planted_asymmetric(240, 1);
         let res = em.run(60, 0.5, 1e-6);
-        let correct = truth
-            .iter()
-            .enumerate()
-            .filter(|(i, &t)| res.labels[&(*i as u32)] == t)
-            .count() as f64
-            / truth.len() as f64;
+        let correct =
+            truth.iter().enumerate().filter(|(i, &t)| res.labels[&(*i as u32)] == t).count() as f64
+                / truth.len() as f64;
         assert!(correct > 0.85, "consensus accuracy={correct}");
     }
 
@@ -295,11 +290,7 @@ mod tests {
         }
         let rf = full.run(50, 1.0, 1e-6);
         let rc = coin.run(&crate::em::EmConfig::default());
-        let agree = rf
-            .labels
-            .iter()
-            .filter(|(i, &l)| rc.labels[i] == l)
-            .count() as f64
+        let agree = rf.labels.iter().filter(|(i, &l)| rc.labels[i] == l).count() as f64
             / rf.labels.len() as f64;
         assert!(agree > 0.97, "agreement={agree}");
     }

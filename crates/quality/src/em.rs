@@ -175,11 +175,7 @@ impl DawidSkene {
                 (item, best)
             })
             .collect();
-        let worker_accuracy = workers
-            .iter()
-            .zip(&acc)
-            .map(|(&w, &a)| (w, a))
-            .collect();
+        let worker_accuracy = workers.iter().zip(&acc).map(|(&w, &a)| (w, a)).collect();
         EmResult { labels, worker_accuracy, iterations }
     }
 }
@@ -190,16 +186,10 @@ mod tests {
     use clamshell_sim::rng::Rng;
 
     /// Plant a ground truth and simulate workers with known accuracies.
-    fn planted(
-        n_items: u32,
-        n_classes: u32,
-        accs: &[f64],
-        seed: u64,
-    ) -> (DawidSkene, Vec<u32>) {
+    fn planted(n_items: u32, n_classes: u32, accs: &[f64], seed: u64) -> (DawidSkene, Vec<u32>) {
         let mut rng = Rng::new(seed);
-        let truth: Vec<u32> = (0..n_items)
-            .map(|_| rng.next_below(n_classes as u64) as u32)
-            .collect();
+        let truth: Vec<u32> =
+            (0..n_items).map(|_| rng.next_below(n_classes as u64) as u32).collect();
         let mut ds = DawidSkene::new(n_classes);
         for (w, &a) in accs.iter().enumerate() {
             for item in 0..n_items {
@@ -223,11 +213,8 @@ mod tests {
     fn recovers_planted_labels() {
         let (ds, truth) = planted(150, 3, &[0.9, 0.85, 0.8, 0.75, 0.7], 1);
         let res = ds.run(&EmConfig::default());
-        let correct = truth
-            .iter()
-            .enumerate()
-            .filter(|(i, &t)| res.labels[&(*i as u32)] == t)
-            .count();
+        let correct =
+            truth.iter().enumerate().filter(|(i, &t)| res.labels[&(*i as u32)] == t).count();
         let acc = correct as f64 / truth.len() as f64;
         assert!(acc > 0.95, "consensus accuracy={acc}");
     }
@@ -252,27 +239,19 @@ mod tests {
         // should learn to trust the expert.
         let (ds, truth) = planted(300, 2, &[0.97, 0.55, 0.55, 0.55, 0.55], 3);
         let res = ds.run(&EmConfig::default());
-        let em_correct = truth
-            .iter()
-            .enumerate()
-            .filter(|(i, &t)| res.labels[&(*i as u32)] == t)
-            .count() as f64
-            / truth.len() as f64;
+        let em_correct =
+            truth.iter().enumerate().filter(|(i, &t)| res.labels[&(*i as u32)] == t).count() as f64
+                / truth.len() as f64;
         // Plain (unweighted) majority over the same votes, for comparison.
         let mut by_item: BTreeMap<u32, Vec<crate::voting::Vote>> = BTreeMap::new();
         // Re-derive votes from the observation set.
         for &(w, i, l) in &ds.obs {
-            by_item
-                .entry(i)
-                .or_default()
-                .push(crate::voting::Vote { worker: w, label: l });
+            by_item.entry(i).or_default().push(crate::voting::Vote { worker: w, label: l });
         }
         let mv_correct = truth
             .iter()
             .enumerate()
-            .filter(|(i, &t)| {
-                crate::voting::majority_vote(&by_item[&(*i as u32)]) == Some(t)
-            })
+            .filter(|(i, &t)| crate::voting::majority_vote(&by_item[&(*i as u32)]) == Some(t))
             .count() as f64
             / truth.len() as f64;
         assert!(em_correct > 0.85, "em accuracy={em_correct}");

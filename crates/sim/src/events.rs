@@ -31,10 +31,7 @@ impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
         // first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl<E> PartialOrd for Scheduled<E> {

@@ -14,11 +14,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// A point in simulated time, in milliseconds since the start of the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in milliseconds. Always non-negative.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -118,11 +122,7 @@ impl SimDuration {
 
     /// Integer division of two durations (how many `rhs` fit in `self`).
     pub fn div_duration(self, rhs: SimDuration) -> u64 {
-        if rhs.0 == 0 {
-            0
-        } else {
-            self.0 / rhs.0
-        }
+        self.0.checked_div(rhs.0).unwrap_or(0)
     }
 }
 
@@ -245,10 +245,7 @@ mod tests {
     fn ordering_is_total() {
         let mut v = vec![SimTime::from_millis(5), SimTime::ZERO, SimTime::from_millis(3)];
         v.sort();
-        assert_eq!(
-            v,
-            vec![SimTime::ZERO, SimTime::from_millis(3), SimTime::from_millis(5)]
-        );
+        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_millis(3), SimTime::from_millis(5)]);
     }
 
     #[test]

@@ -85,17 +85,16 @@ mod tests {
 
     #[test]
     fn constants_are_internally_consistent() {
-        assert!(recruitment::MIN_SECS < recruitment::MEDIAN_SECS);
-        assert!(medical_work::MEAN_MEDIAN_SECS < medical_work::MEAN_P90_SECS);
-        assert!(medical_work::STD_MEDIAN_SECS < medical_work::STD_P90_SECS);
-        assert!(live_work::FAST_BELOW_SECS < live_work::SLOW_ABOVE_SECS);
-        assert_eq!(
-            medical_work::MEAN_MEDIAN_SECS,
-            medical_work::MEDIAN_WORKER_MEAN_SECS
-        );
-        assert!(
-            headline::BASE_NR_STD_SECS / headline::CLAMSHELL_STD_SECS
-                > headline::VARIANCE_REDUCTION
-        );
+        const { assert!(recruitment::MIN_SECS < recruitment::MEDIAN_SECS) }
+        const { assert!(medical_work::MEAN_MEDIAN_SECS < medical_work::MEAN_P90_SECS) }
+        const { assert!(medical_work::STD_MEDIAN_SECS < medical_work::STD_P90_SECS) }
+        const { assert!(live_work::FAST_BELOW_SECS < live_work::SLOW_ABOVE_SECS) }
+        assert_eq!(medical_work::MEAN_MEDIAN_SECS, medical_work::MEDIAN_WORKER_MEAN_SECS);
+        const {
+            assert!(
+                headline::BASE_NR_STD_SECS / headline::CLAMSHELL_STD_SECS
+                    > headline::VARIANCE_REDUCTION
+            )
+        }
     }
 }

@@ -174,11 +174,7 @@ impl Population {
             .sample(rng);
         let latency_std = (ratio * mean_latency).max(0.05);
 
-        let accuracy = self
-            .accuracy
-            .sample(rng)
-            .max(self.min_accuracy)
-            .min(0.995);
+        let accuracy = self.accuracy.sample(rng).max(self.min_accuracy).min(0.995);
 
         let patience = SimDuration::from_secs_f64(
             clamshell_sim::dist::Exponential::from_mean(self.patience_mean_secs).sample(rng),
@@ -224,7 +220,8 @@ impl Population {
             }
             p
         } else {
-            let z = (threshold.max(1e-12).ln() - self.mean_latency.mu()) / self.mean_latency.sigma().max(1e-12);
+            let z = (threshold.max(1e-12).ln() - self.mean_latency.mu())
+                / self.mean_latency.sigma().max(1e-12);
             clamshell_sim::dist::standard_normal_cdf(z)
         }
     }
@@ -254,10 +251,7 @@ mod tests {
 
     fn means(pop: &Population, n: usize, seed: u64) -> Vec<f64> {
         let mut rng = Rng::new(seed);
-        pop.sample_profiles(n, &mut rng)
-            .iter()
-            .map(|p| p.mean_latency)
-            .collect()
+        pop.sample_profiles(n, &mut rng).iter().map(|p| p.mean_latency).collect()
     }
 
     #[test]
@@ -267,15 +261,9 @@ mod tests {
         let median = percentile(&ms, 0.5);
         let p90 = percentile(&ms, 0.9);
         // Median of per-worker means: 4 minutes (±10%).
-        assert!(
-            (median / medical_work::MEAN_MEDIAN_SECS - 1.0).abs() < 0.1,
-            "median={median}"
-        );
+        assert!((median / medical_work::MEAN_MEDIAN_SECS - 1.0).abs() < 0.1, "median={median}");
         // p90 of per-worker means: ~1.1 hours (±15%).
-        assert!(
-            (p90 / medical_work::MEAN_P90_SECS - 1.0).abs() < 0.15,
-            "p90={p90}"
-        );
+        assert!((p90 / medical_work::MEAN_P90_SECS - 1.0).abs() < 0.15, "p90={p90}");
     }
 
     #[test]
@@ -284,8 +272,7 @@ mod tests {
         // must put non-trivial mass at or below that speed.
         let pop = Population::medical();
         let ms = means(&pop, 20_000, 2);
-        let frac_fast = ms.iter().filter(|&&m| m <= medical_work::FASTEST_MEAN_SECS).count()
-            as f64
+        let frac_fast = ms.iter().filter(|&&m| m <= medical_work::FASTEST_MEAN_SECS).count() as f64
             / ms.len() as f64;
         assert!(frac_fast > 0.02 && frac_fast < 0.35, "frac_fast={frac_fast}");
     }
@@ -305,15 +292,11 @@ mod tests {
     fn recruitment_respects_floor_and_median() {
         let pop = Population::medical();
         let mut rng = Rng::new(4);
-        let xs: Vec<f64> = (0..20_000)
-            .map(|_| pop.sample_recruitment(&mut rng).as_secs_f64())
-            .collect();
+        let xs: Vec<f64> =
+            (0..20_000).map(|_| pop.sample_recruitment(&mut rng).as_secs_f64()).collect();
         assert!(xs.iter().all(|&x| x >= recruitment::MIN_SECS));
         let median = percentile(&xs, 0.5);
-        assert!(
-            (median / recruitment::MEDIAN_SECS - 1.0).abs() < 0.1,
-            "median={median}"
-        );
+        assert!((median / recruitment::MEDIAN_SECS - 1.0).abs() < 0.1, "median={median}");
     }
 
     #[test]

@@ -183,9 +183,7 @@ mod tests {
         let p = WorkerProfile::fixed(4.0, 1.0, 0.8);
         let mut rng = Rng::new(3);
         let n = 50_000;
-        let correct = (0..n)
-            .filter(|_| p.sample_label(3, 10, &mut rng) == 3)
-            .count();
+        let correct = (0..n).filter(|_| p.sample_label(3, 10, &mut rng) == 3).count();
         let rate = correct as f64 / n as f64;
         assert!((rate - 0.8).abs() < 0.01, "rate={rate}");
     }

@@ -9,14 +9,9 @@
 use clamshell::prelude::*;
 
 fn run(ds: &Dataset, strategy: Strategy, seed: u64) -> LearningOutcome {
-    let run_cfg = RunConfig {
-        pool_size: 10,
-        ng: 1,
-        n_classes: ds.n_classes,
-        seed,
-        ..Default::default()
-    }
-    .with_straggler();
+    let run_cfg =
+        RunConfig { pool_size: 10, ng: 1, n_classes: ds.n_classes, seed, ..Default::default() }
+            .with_straggler();
     let learn_cfg = LearningConfig {
         strategy,
         label_budget: 200,
@@ -33,11 +28,9 @@ fn main() {
 
     for (name, ds) in [("easy", &easy), ("hard", &hard)] {
         println!("{name} dataset ({} features):", ds.dims());
-        for strategy in [
-            Strategy::Active { k: 5 },
-            Strategy::Passive,
-            Strategy::Hybrid { active_frac: 0.5 },
-        ] {
+        for strategy in
+            [Strategy::Active { k: 5 }, Strategy::Passive, Strategy::Hybrid { active_frac: 0.5 }]
+        {
             let out = run(ds, strategy, 9);
             let t80 = out
                 .curve

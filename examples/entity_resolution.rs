@@ -17,9 +17,8 @@ use clamshell::quality::em::DawidSkene;
 
 fn main() {
     // 120 candidate record pairs; ~30% are true matches.
-    let pairs: Vec<TaskSpec> = (0..120)
-        .map(|i| TaskSpec::new(vec![u32::from(i % 10 < 3)]))
-        .collect();
+    let pairs: Vec<TaskSpec> =
+        (0..120).map(|i| TaskSpec::new(vec![u32::from(i % 10 < 3)])).collect();
     let truths: Vec<u32> = pairs.iter().map(|p| p.truths[0]).collect();
 
     let config = RunConfig {

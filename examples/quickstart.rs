@@ -15,21 +15,13 @@ fn main() {
     // Full CLAMShell: retainer pool of 15, straggler mitigation, PM8 pool
     // maintenance. `ng = 5` groups five records per task (the paper's
     // "Medium" complexity).
-    let config = RunConfig {
-        pool_size: 15,
-        ng: 5,
-        n_classes: 2,
-        seed: 42,
-        ..Default::default()
-    }
-    .with_straggler()
-    .with_maintenance();
+    let config = RunConfig { pool_size: 15, ng: 5, n_classes: 2, seed: 42, ..Default::default() }
+        .with_straggler()
+        .with_maintenance();
 
     // 300 binary labeling tasks (1500 records), e.g. "is this review
     // positive?", submitted in pool-sized batches (R = 1).
-    let tasks: Vec<TaskSpec> = (0..300)
-        .map(|i| TaskSpec::new(vec![(i % 2) as u32; 5]))
-        .collect();
+    let tasks: Vec<TaskSpec> = (0..300).map(|i| TaskSpec::new(vec![(i % 2) as u32; 5])).collect();
 
     println!("labeling {} records with CLAMShell...", 300 * 5);
     let report = run_batched(config, population, tasks, 15);

@@ -10,15 +10,9 @@ use clamshell::core::batcher::{Batcher, BatcherConfig};
 use clamshell::prelude::*;
 
 fn main() {
-    let cfg = RunConfig {
-        pool_size: 12,
-        ng: 1,
-        n_classes: 2,
-        seed: 23,
-        ..Default::default()
-    }
-    .with_straggler()
-    .with_maintenance();
+    let cfg = RunConfig { pool_size: 12, ng: 1, n_classes: 2, seed: 23, ..Default::default() }
+        .with_straggler()
+        .with_maintenance();
 
     let mut runner = Runner::new(cfg, Population::mturk_live());
     runner.warm_up();

@@ -66,13 +66,7 @@ fn run_dashboard(name: &str, config: RunConfig) {
 }
 
 fn main() {
-    let base = RunConfig {
-        pool_size: 15,
-        ng: 1,
-        n_classes: 3,
-        seed: 7,
-        ..Default::default()
-    };
+    let base = RunConfig { pool_size: 15, ng: 1, n_classes: 3, seed: 7, ..Default::default() };
 
     // A plain retainer pool: batches block on stragglers, so some debate
     // minutes arrive very late.

@@ -68,16 +68,14 @@ pub use clamshell_trace as trace;
 /// The commonly-used surface in one import.
 pub mod prelude {
     pub use clamshell_core::baselines::{
-        headline_raw_labeling, run_base_nr, run_base_r, run_clamshell, run_open_market,
-        EndToEnd, OpenMarketConfig,
+        headline_raw_labeling, run_base_nr, run_base_r, run_clamshell, run_open_market, EndToEnd,
+        OpenMarketConfig,
     };
     pub use clamshell_core::batcher::{Batcher, BatcherConfig};
     pub use clamshell_core::config::{
         MaintenanceConfig, MaintenanceObjective, QcMode, RunConfig, StragglerConfig,
     };
-    pub use clamshell_core::learning::{
-        LearningConfig, LearningOutcome, LearningRunner, Strategy,
-    };
+    pub use clamshell_core::learning::{LearningConfig, LearningOutcome, LearningRunner, Strategy};
     pub use clamshell_core::lifeguard::RoutingPolicy;
     pub use clamshell_core::metrics::{BatchStats, RunReport};
     pub use clamshell_core::poolmodel::PoolModel;
@@ -87,11 +85,11 @@ pub mod prelude {
     pub use clamshell_learn::datasets::digits::{digits, DigitsConfig};
     pub use clamshell_learn::datasets::generate::{make_classification, GenConfig};
     pub use clamshell_learn::datasets::objects::{objects, ObjectsConfig};
+    pub use clamshell_learn::ensemble::{BaggedEnsemble, ModelAverage};
     pub use clamshell_learn::eval::LearningCurve;
     pub use clamshell_learn::model::SgdConfig;
     pub use clamshell_learn::sampling::Uncertainty;
     pub use clamshell_learn::Dataset;
-    pub use clamshell_learn::ensemble::{BaggedEnsemble, ModelAverage};
     pub use clamshell_quality::{majority_vote, ConfusionEm, DawidSkene, EmConfig};
     pub use clamshell_sim::{SimDuration, SimTime};
     pub use clamshell_trace::{Population, WorkerProfile};

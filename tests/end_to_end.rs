@@ -24,10 +24,7 @@ fn straggler_mitigation_cuts_batch_variance() {
     };
     let sm: Vec<RunReport> = (1..=4).map(|s| run(true, s)).collect();
     let no: Vec<RunReport> = (1..=4).map(|s| run(false, s)).collect();
-    let (std_sm, std_no) = (
-        mean(&sm, |r| r.mean_batch_std()),
-        mean(&no, |r| r.mean_batch_std()),
-    );
+    let (std_sm, std_no) = (mean(&sm, |r| r.mean_batch_std()), mean(&no, |r| r.mean_batch_std()));
     assert!(
         std_no > 2.0 * std_sm,
         "expected a large variance cut: SM={std_sm:.2}s NoSM={std_no:.2}s"
@@ -65,8 +62,7 @@ fn maintenance_helps_and_helps_complex_tasks_more() {
 fn maintained_pool_converges_toward_fast_mean() {
     let mut pop = Population::bimodal(0.6, 3.0, 12.0);
     // Fast recruitment so replacement isn't reserve-throttled.
-    pop.recruitment =
-        clamshell::sim::dist::LogNormal::from_median_quantile(5.0, 0.9, 12.0);
+    pop.recruitment = clamshell::sim::dist::LogNormal::from_median_quantile(5.0, 0.9, 12.0);
     pop.recruitment_floor = 1.0;
     let threshold = 7.5;
     let mcfg = MaintenanceConfig {
@@ -125,14 +121,9 @@ fn headline_throughput_and_variance() {
 #[test]
 fn hybrid_tracks_the_better_strategy() {
     let run = |ds: &Dataset, strategy: Strategy, seed: u64| {
-        let run_cfg = RunConfig {
-            pool_size: 10,
-            ng: 1,
-            n_classes: ds.n_classes,
-            seed,
-            ..Default::default()
-        }
-        .with_straggler();
+        let run_cfg =
+            RunConfig { pool_size: 10, ng: 1, n_classes: ds.n_classes, seed, ..Default::default() }
+                .with_straggler();
         let learn_cfg = LearningConfig {
             strategy,
             label_budget: 120,
@@ -140,9 +131,7 @@ fn hybrid_tracks_the_better_strategy() {
             seed,
             ..Default::default()
         };
-        LearningRunner::new(ds, run_cfg, learn_cfg, Population::mturk_live())
-            .run()
-            .final_accuracy
+        LearningRunner::new(ds, run_cfg, learn_cfg, Population::mturk_live()).run().final_accuracy
     };
     for hardness in [0u32, 2] {
         let ds = make_classification(&GenConfig::with_hardness(hardness), 77 + hardness as u64);
@@ -169,16 +158,9 @@ fn quorum_improves_label_quality_under_mitigation() {
     let pop = Population::mturk_live();
     let truths: Vec<u32> = (0..120).map(|i| (i % 2) as u32).collect();
     let accuracy_with_quorum = |quorum: u32, seed: u64| {
-        let cfg = RunConfig {
-            pool_size: 12,
-            ng: 1,
-            quorum,
-            seed,
-            ..Default::default()
-        }
-        .with_straggler();
-        let specs: Vec<TaskSpec> =
-            truths.iter().map(|&t| TaskSpec::new(vec![t])).collect();
+        let cfg =
+            RunConfig { pool_size: 12, ng: 1, quorum, seed, ..Default::default() }.with_straggler();
+        let specs: Vec<TaskSpec> = truths.iter().map(|&t| TaskSpec::new(vec![t])).collect();
         let report_runner = {
             let mut r = Runner::new(cfg, pop.clone());
             r.warm_up();
@@ -228,21 +210,16 @@ fn quality_maintenance_evicts_inaccurate_workers() {
             seed,
             ..Default::default()
         };
-        let specs: Vec<TaskSpec> =
-            (0..90).map(|i| TaskSpec::new(vec![(i % 2) as u32])).collect();
+        let specs: Vec<TaskSpec> = (0..90).map(|i| TaskSpec::new(vec![(i % 2) as u32])).collect();
         run_batched(cfg, pop.clone(), specs, 3)
     };
     let mut q_evicted = 0u64;
     let mut s_evicted = 0u64;
     for seed in 1..=3 {
-        q_evicted +=
-            mk(MaintenanceObjective::Quality { min_agreement: 0.8 }, seed).workers_evicted;
+        q_evicted += mk(MaintenanceObjective::Quality { min_agreement: 0.8 }, seed).workers_evicted;
         s_evicted += mk(MaintenanceObjective::Speed, seed).workers_evicted;
     }
-    assert!(
-        q_evicted > 0,
-        "quality maintenance should evict inaccurate workers (got {q_evicted})"
-    );
+    assert!(q_evicted > 0, "quality maintenance should evict inaccurate workers (got {q_evicted})");
     let _ = s_evicted; // speed maintenance may or may not evict here
 }
 

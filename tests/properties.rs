@@ -9,22 +9,16 @@ use proptest::strategy::Strategy as _;
 
 fn arb_config() -> impl proptest::strategy::Strategy<Value = RunConfig> {
     (
-        2usize..8,       // pool size
-        1u32..4,         // ng
-        1u32..3,         // quorum
-        any::<bool>(),   // straggler mitigation
-        any::<bool>(),   // maintenance
-        0u64..1000,      // seed
+        2usize..8,     // pool size
+        1u32..4,       // ng
+        1u32..3,       // quorum
+        any::<bool>(), // straggler mitigation
+        any::<bool>(), // maintenance
+        0u64..1000,    // seed
     )
         .prop_map(|(pool_size, ng, quorum, sm, pm, seed)| {
-            let mut cfg = RunConfig {
-                pool_size,
-                ng,
-                n_classes: 2,
-                quorum,
-                seed,
-                ..Default::default()
-            };
+            let mut cfg =
+                RunConfig { pool_size, ng, n_classes: 2, quorum, seed, ..Default::default() };
             if sm {
                 cfg = cfg.with_straggler();
             }

@@ -1,0 +1,195 @@
+//! Vendored, minimal `criterion` for the offline build environment.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`, and
+//! `Bencher::iter` — with a plain wall-clock measurement loop instead of
+//! criterion's statistics engine. Like real criterion, when the binary is
+//! run without cargo's `--bench` flag (i.e. under `cargo test`), each
+//! benchmark body executes exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent per benchmark when measuring.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// Top-level harness state.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes bench binaries with `--bench`; anything
+        // else (notably `cargo test`) gets a one-iteration smoke run.
+        let smoke = !std::env::args().any(|a| a == "--bench");
+        Self { smoke }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.smoke, &id.to_string(), &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored harness sizes its
+    /// sample by wall-clock budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.smoke, &label, &mut f);
+        self
+    }
+
+    /// Benchmark `f` on `input` under `id` within this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.smoke, &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for drop-in compatibility).
+    pub fn finish(self) {}
+}
+
+/// Runs one benchmark closure and prints a one-line result.
+fn run_one<F: FnMut(&mut Bencher)>(smoke: bool, label: &str, f: &mut F) {
+    let mut b = Bencher { smoke, iterations: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    if smoke {
+        eprintln!("  {label}: ok (smoke)");
+    } else if b.iterations > 0 {
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iterations as f64;
+        eprintln!("  {label}: {:.1} ns/iter ({} iters)", per_iter, b.iterations);
+    } else {
+        eprintln!("  {label}: no measurement taken");
+    }
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    smoke: bool,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Repeatedly time `f` (once in smoke mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            self.iterations = 1;
+            return;
+        }
+        // Calibrate a batch size so the clock is read roughly once per
+        // millisecond of work: nanosecond-scale bodies would otherwise
+        // spend most of the measured window inside `Instant::elapsed`.
+        let calib_start = Instant::now();
+        black_box(f());
+        let one = calib_start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / one.as_nanos()).clamp(1, 100_000) as u64;
+        // Warm-up, then measure whole batches within the budget.
+        black_box(f());
+        let start = Instant::now();
+        let mut n = 0u64;
+        while start.elapsed() < MEASURE_BUDGET {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            n += batch;
+        }
+        self.iterations = n.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark identifier with a parameter, e.g. `schedule_pop/10000`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self { label: format!("{name}/{parameter}") }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput annotation (accepted, not reported).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,93 @@
+//! Test-runner plumbing: configuration, the deterministic case RNG, and
+//! failure reporting.
+
+/// Per-block configuration, mirroring proptest's `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property for `cases` sampled inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the vendored runner trades a
+        // lower default for a faster tier-1 loop. Tests that need more
+        // set it explicitly via `with_cases`.
+        Self { cases: 32 }
+    }
+}
+
+/// Deterministic per-case RNG (SplitMix64). Case `i` always sees the
+/// same stream, so failures reproduce without recording seeds.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for the `case`-th sampled input of a property.
+    pub fn from_case(case: u64) -> Self {
+        let mut rng =
+            Self { state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03 };
+        // Warm up so nearby case indices decorrelate immediately.
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Prints the failing property and case index if the body panics, since
+/// the vendored runner has no shrinking machinery to do it for us.
+pub struct CaseGuard {
+    name: &'static str,
+    case: u64,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms a guard for one case of `name`.
+    pub fn new(name: &'static str, case: u64) -> Self {
+        Self { name, case, armed: true }
+    }
+
+    /// The case passed; do not report on drop.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest (vendored): property `{}` failed at deterministic case index {}",
+                self.name, self.case
+            );
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Vendored, minimal `serde` facade for the offline build environment.
+//!
+//! The workspace uses serde for exactly one thing: `#[derive(Serialize,
+//! Deserialize)]` on plain data types plus `serde_json::to_string` for
+//! structural equality checks and report dumps. This crate provides that
+//! surface without the real serde's data-model machinery:
+//!
+//! * [`Serialize`] writes the value directly as JSON into a `String`.
+//! * [`Deserialize`] is a marker trait with a blanket impl (nothing in the
+//!   workspace deserializes).
+//!
+//! Swap back to crates.io serde by editing `[workspace.dependencies]`.
+
+// Let the derive's generated `::serde::...` paths resolve inside this
+// crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialize `self` as JSON text appended to `out`.
+///
+/// This is a deliberately tiny stand-in for serde's `Serialize`: the
+/// derive macro writes fields in declaration order, so output is
+/// deterministic — which is all the workspace's structural-equality
+/// checks need.
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn serialize_into(&self, out: &mut String);
+}
+
+/// Marker stand-in for serde's `Deserialize`; blanket-implemented.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+fn push_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_display_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_into(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_display_serialize!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+macro_rules! impl_float_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_into(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // Real JSON has no NaN/inf; encode as null like
+                    // serde_json's lossy modes do.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_serialize!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_into(&self, out: &mut String) {
+        push_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_into(&self, out: &mut String) {
+        push_json_str(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_into(&self, out: &mut String) {
+        push_json_str(&self.to_string(), out);
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize_into(&self, out: &mut String) {
+        (**self).serialize_into(out);
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize_into(&self, out: &mut String) {
+        (**self).serialize_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_into(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_into(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn serialize_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_into(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_into(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_into(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_into(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize_into(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+fn serialize_map_entries<'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (String, &'a V)>,
+    out: &mut String,
+) {
+    out.push('{');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&k, out);
+        out.push(':');
+        v.serialize_into(out);
+    }
+    out.push('}');
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_into(&self, out: &mut String) {
+        serialize_map_entries(self.iter().map(|(k, v)| (k.to_string(), v)), out);
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn serialize_into(&self, out: &mut String) {
+        // Hash-iteration order varies per RandomState; sort by stringified
+        // key so structurally equal maps serialize identically (the
+        // workspace's determinism checks compare JSON strings).
+        let mut entries: Vec<(String, &V)> = self.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        serialize_map_entries(entries.into_iter(), out);
+    }
+}
+
+macro_rules! impl_tuple_serialize {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_into(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    self.$idx.serialize_into(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_tuple_serialize!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(A.0, B.1, C.2, D.3, E.4)(
+    A.0, B.1, C.2, D.3, E.4, F.5
+)(A.0, B.1, C.2, D.3, E.4, F.5, G.6)(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        let mut s = String::new();
+        (1u32, -2i64, 1.5f64, true, "a\"b".to_string()).serialize_into(&mut s);
+        assert_eq!(s, r#"[1,-2,1.5,true,"a\"b"]"#);
+
+        let mut s = String::new();
+        vec![Some(1u8), None].serialize_into(&mut s);
+        assert_eq!(s, "[1,null]");
+    }
+
+    #[test]
+    fn hashmap_serializes_in_sorted_key_order() {
+        let mut m = std::collections::HashMap::new();
+        for (k, v) in [("b", 2u32), ("a", 1), ("c", 3)] {
+            m.insert(k.to_string(), v);
+        }
+        let mut s = String::new();
+        m.serialize_into(&mut s);
+        assert_eq!(s, r#"{"a":1,"b":2,"c":3}"#);
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Point {
+        x: u32,
+        y: Vec<f64>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Id(u32);
+
+    #[derive(Serialize, Deserialize)]
+    enum Mix {
+        Unit,
+        Tup(u32, bool),
+        Named { v: f64 },
+    }
+
+    #[test]
+    fn derived_shapes() {
+        let mut s = String::new();
+        Point { x: 3, y: vec![1.0, 2.5] }.serialize_into(&mut s);
+        assert_eq!(s, r#"{"x":3,"y":[1,2.5]}"#);
+
+        let mut s = String::new();
+        Id(9).serialize_into(&mut s);
+        assert_eq!(s, "9");
+
+        let mut s = String::new();
+        Mix::Unit.serialize_into(&mut s);
+        assert_eq!(s, r#""Unit""#);
+
+        let mut s = String::new();
+        Mix::Tup(1, false).serialize_into(&mut s);
+        assert_eq!(s, r#"{"Tup":[1,false]}"#);
+
+        let mut s = String::new();
+        Mix::Named { v: 0.5 }.serialize_into(&mut s);
+        assert_eq!(s, r#"{"Named":{"v":0.5}}"#);
+    }
+}

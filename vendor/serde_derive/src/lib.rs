@@ -1,0 +1,250 @@
+//! Vendored, minimal `serde_derive` for the offline build environment.
+//!
+//! Supports exactly the shapes this workspace uses: non-generic structs
+//! (unit / tuple / named) and non-generic enums (unit / tuple / named
+//! variants), with no `#[serde(...)]` attributes. `Serialize` expands to a
+//! direct JSON writer against the vendored `serde::Serialize` trait;
+//! `Deserialize` expands to nothing (the vendored `serde` has a blanket
+//! marker impl).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Field layout of a struct or an enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+/// Skips leading outer attributes (`#[...]`) and visibility qualifiers.
+fn skip_attrs_and_vis(iter: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field-list token stream on top-level commas, treating `<...>`
+/// as nesting (delimited groups nest automatically in the token tree).
+fn split_top_level_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    let mut prev_dash = false;
+    for t in tokens {
+        let mut dash = false;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if !prev_dash => angle -= 1, // `->` in fn-pointer types
+                '-' => dash = true,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        prev_dash = dash;
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts the field name from one named-field declaration
+/// (`attrs* vis? name : type`).
+fn field_name(tokens: Vec<TokenTree>) -> String {
+    let mut iter = tokens.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected field name, got {other:?}"),
+    }
+}
+
+fn parse_fields_group(g: &proc_macro::Group) -> Fields {
+    let items = split_top_level_commas(g.stream().into_iter().collect());
+    match g.delimiter() {
+        Delimiter::Parenthesis => Fields::Tuple(items.len()),
+        Delimiter::Brace => Fields::Named(items.into_iter().map(field_name).collect()),
+        _ => panic!("vendored serde_derive: unexpected field delimiter"),
+    }
+}
+
+fn parse_variants(g: &proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    for item in split_top_level_commas(g.stream().into_iter().collect()) {
+        let mut iter = item.into_iter().peekable();
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("vendored serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) => parse_fields_group(g),
+            _ => Fields::Unit, // unit variant or `= discriminant`
+        };
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Parses a derive input into `(type_name, shape)`. Generic types are
+/// rejected: nothing in this workspace derives serde on a generic type.
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() != Delimiter::Bracket => {
+                Shape::Struct(parse_fields_group(g))
+            }
+            // `struct X;` — anything else trailing (e.g. a `where`
+            // clause) is an unsupported shape and must not be silently
+            // serialized as a unit struct.
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            None => Shape::Struct(Fields::Unit),
+            other => panic!("vendored serde_derive: unsupported struct shape near {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(&g))
+            }
+            other => panic!("vendored serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}`"),
+    };
+    (name, shape)
+}
+
+fn push_str_stmt(code: &mut String, literal: &str) {
+    code.push_str(&format!("out.push_str({:?});\n", literal));
+}
+
+fn ser_expr(code: &mut String, expr: &str) {
+    code.push_str(&format!("::serde::Serialize::serialize_into(&{expr}, out);\n"));
+}
+
+/// Writes the body serializing `fields` accessed through `access` (either
+/// `self.<name>` for structs or bare bindings for match arms).
+fn gen_fields_body(code: &mut String, fields: &Fields, access: impl Fn(&str) -> String) {
+    match fields {
+        Fields::Unit => push_str_stmt(code, "null"),
+        Fields::Tuple(1) => ser_expr(code, &access("0")),
+        Fields::Tuple(n) => {
+            push_str_stmt(code, "[");
+            for i in 0..*n {
+                if i > 0 {
+                    push_str_stmt(code, ",");
+                }
+                ser_expr(code, &access(&i.to_string()));
+            }
+            push_str_stmt(code, "]");
+        }
+        Fields::Named(names) => {
+            push_str_stmt(code, "{");
+            for (i, f) in names.iter().enumerate() {
+                let key = if i > 0 { format!(",\"{f}\":") } else { format!("\"{f}\":") };
+                push_str_stmt(code, &key);
+                ser_expr(code, &access(f));
+            }
+            push_str_stmt(code, "}");
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let mut body = String::new();
+    match &shape {
+        Shape::Struct(fields) => {
+            gen_fields_body(&mut body, fields, |f| format!("self.{f}"));
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        body.push_str(&format!("{name}::{vname} => {{\n"));
+                        push_str_stmt(&mut body, &format!("\"{vname}\""));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!("{name}::{vname}({}) => {{\n", binds.join(", ")));
+                        push_str_stmt(&mut body, &format!("{{\"{vname}\":"));
+                        let inner = Fields::Tuple(*n);
+                        gen_fields_body(&mut body, &inner, |f| format!("__f{f}"));
+                        push_str_stmt(&mut body, "}");
+                    }
+                    Fields::Named(fields) => {
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n",
+                            fields.join(", ")
+                        ));
+                        push_str_stmt(&mut body, &format!("{{\"{vname}\":"));
+                        let inner = Fields::Named(fields.clone());
+                        gen_fields_body(&mut body, &inner, |f| f.to_string());
+                        push_str_stmt(&mut body, "}");
+                    }
+                }
+                body.push_str("}\n");
+            }
+            body.push_str("}\n");
+        }
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_into(&self, out: &mut ::std::string::String) {{\n{body}}}\n}}\n"
+    );
+    out.parse().expect("vendored serde_derive: generated invalid Rust")
+}
+
+/// The vendored `serde::Deserialize` is a marker trait with a blanket
+/// impl, so the derive has nothing to emit.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,39 @@
+//! Vendored, minimal `serde_json` for the offline build environment.
+//!
+//! Provides only [`to_string`], backed by the vendored `serde`'s direct
+//! JSON writer. The workspace uses it for structural-equality assertions
+//! and human-readable report dumps; nothing parses JSON back.
+
+use std::fmt;
+
+/// Serialization error. The vendored writer is infallible, so this is
+/// never constructed; it exists so call sites can keep serde_json's
+/// `Result`-based signature (and their `.unwrap()`s).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json (vendored) error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a JSON string.
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_into(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_roundtrips_structure() {
+        assert_eq!(super::to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+    }
+}
