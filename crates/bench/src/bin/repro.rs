@@ -6,15 +6,24 @@
 //! repro --all                  # run everything (used to fill EXPERIMENTS.md)
 //! repro --all --quick          # smaller workloads, single seed
 //! repro fig9 --seeds 5         # average over 5 seeds
+//! repro --all --threads 4      # sweep-engine worker threads
 //! ```
+//!
+//! Flags compose order-independently: an explicit `--seeds N` always
+//! wins over `--quick`'s single-seed default, whichever comes first.
+//! `--threads N` (env fallback `CLAMSHELL_THREADS`) only changes how
+//! fast sweeps run — the engine merges results in job-index order, so
+//! stdout is byte-identical at any thread count.
 
 use clamshell_bench::{registry, util::Opts};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut opts = Opts::default();
     let mut run_all = false;
     let mut list = false;
+    let mut quick = false;
+    let mut seeds: Option<u64> = None;
+    let mut threads: Option<usize> = None;
     let mut picked: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -22,15 +31,18 @@ fn main() {
         match args[i].as_str() {
             "--all" => run_all = true,
             "--list" => list = true,
-            "--quick" => {
-                opts.scale = 0.25;
-                opts.seeds = vec![1];
-            }
+            "--quick" => quick = true,
             "--seeds" => {
                 i += 1;
                 let n: u64 =
                     args.get(i).and_then(|s| s.parse().ok()).expect("--seeds takes a count");
-                opts.seeds = (1..=n).collect();
+                seeds = Some(n);
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize =
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--threads takes a count");
+                threads = Some(n);
             }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
@@ -41,17 +53,35 @@ fn main() {
         i += 1;
     }
 
+    // Compose flags after parsing so order never matters: `--quick`
+    // provides defaults, explicit `--seeds` overrides them either way
+    // around.
+    let mut opts = Opts::default();
+    if quick {
+        opts.scale = 0.25;
+        opts.seeds = vec![1];
+    }
+    if let Some(n) = seeds {
+        opts.seeds = (1..=n).collect();
+    }
+    // Every experiment path resolves its thread count from `opts`
+    // (falling back to CLAMSHELL_THREADS, then available parallelism),
+    // so no process-global state is needed.
+    opts.threads = threads;
+
     let all = registry();
     if list || (!run_all && picked.is_empty()) {
         println!("experiments ({} total):", all.len());
         for (name, desc, _) in &all {
             println!("  {name:<10} {desc}");
         }
-        println!("\nusage: repro [--all|--quick|--seeds N|--list] [name...]");
+        println!("\nusage: repro [--all|--quick|--seeds N|--threads N|--list] [name...]");
         return;
     }
 
     println!("CLAMShell reproduction harness — seeds={:?} scale={}", opts.seeds, opts.scale);
+    // Stderr, so stdout stays byte-identical across thread counts.
+    eprintln!("sweep engine: {} worker thread(s)", opts.thread_count());
     let mut ran = 0;
     for (name, _, f) in &all {
         if run_all || picked.iter().any(|p| p == name) {

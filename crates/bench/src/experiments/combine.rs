@@ -1,12 +1,26 @@
 //! §6.4 — combining per-batch techniques (Figures 12–14) and the §6.6
 //! headline numbers.
 
-use crate::util::{binary_specs, header, mean_of, ratio, run_seeds, Opts};
+use crate::util::{binary_specs, header, mean_of, ratio, Opts};
 use clamshell_core::baselines::headline_raw_labeling;
 use clamshell_core::config::{MaintenanceConfig, StragglerConfig};
+use clamshell_core::task::TaskSpec;
 use clamshell_core::RunConfig;
+use clamshell_sweep::{pool, Grid};
 use clamshell_trace::calibration::headline as paper;
 use clamshell_trace::Population;
+
+/// The four SM × PM cells as one sweep grid over `seeds`.
+fn sm_pm_grid(pop: &Population, specs: Vec<TaskSpec>, seeds: &[u64]) -> (Grid, Vec<&'static str>) {
+    let mut grid = Grid::new(RunConfig::default(), pop.clone(), specs, 15).seeds(seeds);
+    let mut names = Vec::new();
+    for (sm, pm) in [(false, false), (false, true), (true, false), (true, true)] {
+        let (cfg, name) = grid_cfg(sm, pm);
+        names.push(name);
+        grid = grid.scenario(name, move |c| *c = cfg.clone());
+    }
+    (grid, names)
+}
 
 fn grid_cfg(sm: bool, pm: bool) -> (RunConfig, &'static str) {
     let cfg = RunConfig {
@@ -35,14 +49,14 @@ pub fn fig12(opts: &Opts) {
     );
     let pop = Population::mturk_live();
     let specs = binary_specs(opts.n(300), 5);
+    let (grid, names) = sm_pm_grid(&pop, specs, &opts.seeds);
+    let grouped = grid.run_grouped(opts.threads);
     println!("  config       total-lat   batch-std    cost      vs-baseline");
     let mut baseline = None;
-    for (sm, pm) in [(false, false), (false, true), (true, false), (true, true)] {
-        let (cfg, name) = grid_cfg(sm, pm);
-        let reports = run_seeds(&cfg, &pop, &specs, 15, &opts.seeds);
-        let lat = mean_of(&reports, |r| r.total_secs());
-        let std = mean_of(&reports, |r| r.mean_batch_std());
-        let cost = mean_of(&reports, |r| r.cost.total_usd());
+    for (name, reports) in names.iter().zip(&grouped) {
+        let lat = mean_of(reports, |r| r.total_secs());
+        let std = mean_of(reports, |r| r.mean_batch_std());
+        let cost = mean_of(reports, |r| r.cost.total_usd());
         if baseline.is_none() {
             baseline = Some((lat, std));
         }
@@ -66,11 +80,10 @@ pub fn fig13(opts: &Opts) {
     );
     let pop = Population::mturk_live();
     let specs = binary_specs(opts.n(150), 5);
+    let (grid, names) = sm_pm_grid(&pop, specs, &[opts.seeds[0]]);
+    let grouped = grid.run_grouped(opts.threads);
     println!("  config       assignments  terminated  stragglers(>2x median)  max-span");
-    for (sm, pm) in [(false, false), (false, true), (true, false), (true, true)] {
-        let (cfg, name) = grid_cfg(sm, pm);
-        let cfg = RunConfig { seed: opts.seeds[0], ..cfg };
-        let reports = run_seeds(&cfg, &pop, &specs, 15, &[opts.seeds[0]]);
+    for (name, reports) in names.iter().zip(&grouped) {
         let r = &reports[0];
         let spans: Vec<f64> =
             r.assignments.iter().map(|a| a.end.since(a.start).as_secs_f64()).collect();
@@ -96,24 +109,29 @@ pub fn fig14(opts: &Opts) {
     );
     let pop = Population::mturk_live();
     let specs = binary_specs(opts.n(300), 5);
-    println!("  config               replaced-per-batch");
-    let mut rates = Vec::new();
-    for (sm, termest, name) in [
+    let cells = [
         (true, true, "SM + TermEst"),
         (true, false, "SM + NoTermEst"),
         (false, true, "NoSM (reference)"),
-    ] {
-        let cfg = RunConfig {
-            pool_size: 15,
-            ng: 5,
-            straggler: sm.then(StragglerConfig::default),
-            maintenance: Some(MaintenanceConfig {
-                use_termest: termest,
-                ..MaintenanceConfig::pm8()
-            }),
-            ..Default::default()
-        };
-        let reports = run_seeds(&cfg, &pop, &specs, 15, &opts.seeds);
+    ];
+    let mut grid = Grid::new(RunConfig::default(), pop, specs, 15).seeds(&opts.seeds);
+    for (sm, termest, name) in cells {
+        grid = grid.scenario(name, move |c| {
+            *c = RunConfig {
+                pool_size: 15,
+                ng: 5,
+                straggler: sm.then(StragglerConfig::default),
+                maintenance: Some(MaintenanceConfig {
+                    use_termest: termest,
+                    ..MaintenanceConfig::pm8()
+                }),
+                ..Default::default()
+            };
+        });
+    }
+    println!("  config               replaced-per-batch");
+    let mut rates = Vec::new();
+    for ((_, _, name), reports) in cells.iter().zip(grid.run_grouped(opts.threads)) {
         let rate = mean_of(&reports, |r| r.workers_evicted as f64 / r.batches.len().max(1) as f64);
         println!("  {name:<20} {rate:>17.2}");
         rates.push(rate);
@@ -133,10 +151,14 @@ pub fn headline(opts: &Opts) {
         "7.24x labeling throughput; 151x variance reduction (3.1s vs 475s std)",
     );
     let n = opts.n(500);
+    // Not a `run_batched` sweep, so the generic pool layer fans the
+    // per-seed baseline comparisons directly.
+    let runs = pool::map(opts.seeds.clone(), opts.thread_count(), |_, _, seed| {
+        headline_raw_labeling(Population::mturk_live(), n, 15, seed)
+    });
     let mut thr = Vec::new();
     let mut stds = Vec::new();
-    for &seed in &opts.seeds {
-        let (clam, nr) = headline_raw_labeling(Population::mturk_live(), n, 15, seed);
+    for (clam, nr) in &runs {
         thr.push((clam.throughput(), nr.throughput()));
         stds.push((clam.mean_batch_std(), nr.batches[0].task_latency_std));
     }

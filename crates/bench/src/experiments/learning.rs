@@ -9,6 +9,7 @@ use clamshell_learn::datasets::generate::{make_classification, GenConfig};
 use clamshell_learn::datasets::objects::{objects, ObjectsConfig};
 use clamshell_learn::model::SgdConfig;
 use clamshell_learn::Dataset;
+use clamshell_sweep::pool;
 use clamshell_trace::Population;
 
 fn sgd() -> SgdConfig {
@@ -34,21 +35,42 @@ pub fn fig15(opts: &Opts) {
          HL matches or beats both everywhere",
     );
     let budget = opts.n(200);
-    println!("  hardness  r      AL       PL       HL      winner");
-    for hardness in [0u32, 1, 2] {
-        let ds = make_classification(&GenConfig::with_hardness(hardness), 40 + hardness as u64);
-        for r in [0.25f64, 0.5, 0.75] {
-            let mut al = 0.0;
-            let mut pl = 0.0;
-            let mut hl = 0.0;
-            for &seed in &opts.seeds {
-                let k = ((10.0 * r).round() as usize).max(1);
-                al += run_strategy(&ds, Strategy::Active { k }, budget, seed);
-                pl += run_strategy(&ds, Strategy::Passive, budget, seed);
-                hl += run_strategy(&ds, Strategy::Hybrid { active_frac: r }, budget, seed);
+    // Fan the full hardness × r × strategy × seed cross product through
+    // the sweep engine's generic pool: each cell is an independent
+    // learning run, and index-ordered results keep the fold (and the
+    // printed table) byte-identical at any thread count.
+    let datasets: Vec<Dataset> = [0u32, 1, 2]
+        .iter()
+        .map(|&h| make_classification(&GenConfig::with_hardness(h), 40 + h as u64))
+        .collect();
+    let rs = [0.25f64, 0.5, 0.75];
+    let mut cells: Vec<(usize, f64, usize, u64)> = Vec::new();
+    for h in 0..datasets.len() {
+        for &r in &rs {
+            for strat in 0..3 {
+                for &seed in &opts.seeds {
+                    cells.push((h, r, strat, seed));
+                }
             }
-            let n = opts.seeds.len() as f64;
-            let (al, pl, hl) = (al / n, pl / n, hl / n);
+        }
+    }
+    let accs = pool::map(cells, opts.thread_count(), |_, _, (h, r, strat, seed)| {
+        let strategy = match strat {
+            0 => Strategy::Active { k: ((10.0 * r).round() as usize).max(1) },
+            1 => Strategy::Passive,
+            _ => Strategy::Hybrid { active_frac: r },
+        };
+        run_strategy(&datasets[h], strategy, budget, seed)
+    });
+    println!("  hardness  r      AL       PL       HL      winner");
+    let n_seeds = opts.seeds.len();
+    let mut acc_iter = accs.into_iter();
+    let mut strategy_mean = || acc_iter.by_ref().take(n_seeds).sum::<f64>() / n_seeds as f64;
+    for hardness in [0u32, 1, 2] {
+        for r in rs {
+            let al = strategy_mean();
+            let pl = strategy_mean();
+            let hl = strategy_mean();
             let winner = if hl >= al && hl >= pl {
                 "HL"
             } else if al >= pl {
@@ -77,14 +99,11 @@ pub fn fig16(opts: &Opts) {
         (digits(&DigitsConfig { n_samples: n_items, ..Default::default() }, 22), 0.60),
     ];
     println!("  dataset   target   AL-time     PL-time     HL-time    final AL/PL/HL");
+    let strategies =
+        [Strategy::Active { k: 5 }, Strategy::Passive, Strategy::Hybrid { active_frac: 0.5 }];
     for (ds, target) in &sets {
-        let mut times = [f64::INFINITY; 3];
-        let mut finals = [0.0f64; 3];
-        for (i, strat) in
-            [Strategy::Active { k: 5 }, Strategy::Passive, Strategy::Hybrid { active_frac: 0.5 }]
-                .iter()
-                .enumerate()
-        {
+        // Dataset × strategy cells are independent: fan them out.
+        let outcomes = pool::map(strategies.to_vec(), opts.thread_count(), |_, _, strat| {
             let seed = opts.seeds[0];
             let run_cfg = RunConfig {
                 pool_size: 10,
@@ -95,7 +114,7 @@ pub fn fig16(opts: &Opts) {
             }
             .with_straggler();
             let learn_cfg = LearningConfig {
-                strategy: *strat,
+                strategy: strat,
                 label_budget: budget,
                 sgd: sgd(),
                 // Classic AL blocks on retrain; PL/HL pipeline.
@@ -104,8 +123,13 @@ pub fn fig16(opts: &Opts) {
                 ..Default::default()
             };
             let out = LearningRunner::new(ds, run_cfg, learn_cfg, Population::mturk_live()).run();
-            times[i] = out.curve.time_to_accuracy(*target).unwrap_or(f64::INFINITY);
-            finals[i] = out.final_accuracy;
+            (out.curve.time_to_accuracy(*target).unwrap_or(f64::INFINITY), out.final_accuracy)
+        });
+        let mut times = [f64::INFINITY; 3];
+        let mut finals = [0.0f64; 3];
+        for (i, (t, f)) in outcomes.into_iter().enumerate() {
+            times[i] = t;
+            finals[i] = f;
         }
         let fmt_t = |t: f64| {
             if t.is_finite() {
@@ -131,12 +155,20 @@ fn end_to_end_systems(
     ds: &Dataset,
     budget: usize,
     seed: u64,
+    threads: usize,
 ) -> Vec<(&'static str, clamshell_learn::eval::LearningCurve)> {
-    let pop = Population::mturk_live();
-    let nr = run_base_nr(ds, pop.clone(), budget, 10, OpenMarketConfig::default(), sgd(), seed);
-    let br = run_base_r(ds, pop.clone(), budget, 10, sgd(), seed);
-    let cs = run_clamshell(ds, pop, budget, 10, sgd(), seed);
-    vec![("Base-NR", nr.curve), ("Base-R", br.curve), ("CLAMShell", cs.curve)]
+    // The three systems are independent end-to-end runs: one pool job
+    // each.
+    let names = ["Base-NR", "Base-R", "CLAMShell"];
+    let curves = pool::map(vec![0usize, 1, 2], threads, |_, _, system| {
+        let pop = Population::mturk_live();
+        match system {
+            0 => run_base_nr(ds, pop, budget, 10, OpenMarketConfig::default(), sgd(), seed).curve,
+            1 => run_base_r(ds, pop, budget, 10, sgd(), seed).curve,
+            _ => run_clamshell(ds, pop, budget, 10, sgd(), seed).curve,
+        }
+    });
+    names.into_iter().zip(curves).collect()
 }
 
 /// Figure 17: time to reach model-accuracy thresholds.
@@ -149,7 +181,7 @@ pub fn fig17(opts: &Opts) {
     );
     let budget = opts.n(400);
     let ds = objects(&ObjectsConfig { n_samples: opts.n(1200), ..Default::default() }, 31);
-    let systems = end_to_end_systems(&ds, budget, opts.seeds[0]);
+    let systems = end_to_end_systems(&ds, budget, opts.seeds[0], opts.thread_count());
     println!("  threshold   Base-NR      Base-R       CLAMShell");
     for threshold in [0.65, 0.70, 0.75, 0.80] {
         let cells: Vec<String> = systems
@@ -172,7 +204,7 @@ pub fn fig18(opts: &Opts) {
     );
     let budget = opts.n(400);
     let ds = objects(&ObjectsConfig { n_samples: opts.n(1200), ..Default::default() }, 32);
-    let systems = end_to_end_systems(&ds, budget, opts.seeds[0]);
+    let systems = end_to_end_systems(&ds, budget, opts.seeds[0], opts.thread_count());
     // Print accuracy at shared checkpoints.
     let horizon = systems
         .iter()

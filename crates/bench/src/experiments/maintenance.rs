@@ -1,13 +1,16 @@
 //! §6.2 — pool maintenance experiments (Figures 3–8) and the §4.2
 //! convergence model check.
 
-use crate::util::{binary_specs, digit_specs, f2, header, mean_of, ratio, run_seeds, Opts};
+use crate::util::{
+    binary_specs, digit_specs, f2, header, mean_of, ratio, run_scenarios, run_seeds_opts, Opts,
+};
 use clamshell_core::config::MaintenanceConfig;
 use clamshell_core::metrics::RunReport;
 use clamshell_core::poolmodel::PoolModel;
 use clamshell_core::runner::Runner;
 use clamshell_core::RunConfig;
 use clamshell_sim::stats::{percentile, Summary};
+use clamshell_sweep::Grid;
 use clamshell_trace::Population;
 
 fn digit_cfg(ng: u32, maint: Option<MaintenanceConfig>) -> RunConfig {
@@ -16,6 +19,42 @@ fn digit_cfg(ng: u32, maint: Option<MaintenanceConfig>) -> RunConfig {
 
 /// The three task complexities of Table 3.
 const COMPLEXITIES: [(u32, &str); 3] = [(1, "Simple"), (5, "Medium"), (10, "Complex")];
+
+/// The complexity × {PM8, PM∞} grid of Figures 3–4: each Ng reshapes
+/// the task specs, so scenarios carry spec overrides. Returns
+/// `[(complexity name, pm8_reports, pminf_reports); 3]` in Table-3
+/// order.
+fn complexity_sweep(
+    opts: &Opts,
+    n_tasks: usize,
+) -> Vec<(&'static str, Vec<RunReport>, Vec<RunReport>)> {
+    let mut grid = Grid::new(digit_cfg(5, None), Population::mturk_live(), binary_specs(1, 5), 15)
+        .seeds(&opts.seeds);
+    for (ng, name) in COMPLEXITIES {
+        let specs = digit_specs(n_tasks, ng as usize);
+        grid = grid.scenario_with(
+            format!("{name}/PM8"),
+            move |c| *c = digit_cfg(ng, Some(MaintenanceConfig::pm8())),
+            specs.clone(),
+            15,
+        );
+        grid = grid.scenario_with(
+            format!("{name}/PMinf"),
+            move |c| *c = digit_cfg(ng, None),
+            specs,
+            15,
+        );
+    }
+    let mut grouped = grid.run_grouped(opts.threads).into_iter();
+    COMPLEXITIES
+        .iter()
+        .map(|&(_, name)| {
+            let pm = grouped.next().expect("PM8 row");
+            let inf = grouped.next().expect("PMinf row");
+            (name, pm, inf)
+        })
+        .collect()
+}
 
 /// Figure 3: points labeled over time for PM8 vs PM∞ across task
 /// complexity.
@@ -27,17 +66,9 @@ pub fn fig3(opts: &Opts) {
          stragglers that maintenance culls",
     );
     let n_tasks = opts.n(500);
-    let pop = Population::mturk_live();
     println!("  Ng       config   25%-done   50%-done   75%-done   100%-done  (secs)");
-    for (ng, name) in COMPLEXITIES {
-        for (mcfg, label) in [(Some(MaintenanceConfig::pm8()), "PM8"), (None, "PMinf")] {
-            let reports = run_seeds(
-                &digit_cfg(ng, mcfg),
-                &pop,
-                &digit_specs(n_tasks, ng as usize),
-                15,
-                &opts.seeds,
-            );
+    for (name, pm, inf) in complexity_sweep(opts, n_tasks) {
+        for (reports, label) in [(pm, "PM8"), (inf, "PMinf")] {
             let quartile = |r: &RunReport, f: f64| {
                 let series = r.labels_over_time();
                 let target = (r.labels_produced() as f64 * f) as u64;
@@ -63,18 +94,8 @@ pub fn fig4(opts: &Opts) {
          for medium/complex despite recruitment",
     );
     let n_tasks = opts.n(500);
-    let pop = Population::mturk_live();
     println!("  Ng       latency-PM8  latency-inf  speedup   cost-PM8   cost-inf   cost-delta");
-    for (ng, name) in COMPLEXITIES {
-        let specs = digit_specs(n_tasks, ng as usize);
-        let pm = run_seeds(
-            &digit_cfg(ng, Some(MaintenanceConfig::pm8())),
-            &pop,
-            &specs,
-            15,
-            &opts.seeds,
-        );
-        let no = run_seeds(&digit_cfg(ng, None), &pop, &specs, 15, &opts.seeds);
+    for (name, pm, no) in complexity_sweep(opts, n_tasks) {
         let (lat_pm, lat_no) = (mean_of(&pm, |r| r.total_secs()), mean_of(&no, |r| r.total_secs()));
         let (cost_pm, cost_no) =
             (mean_of(&pm, |r| r.cost.total_usd()), mean_of(&no, |r| r.cost.total_usd()));
@@ -100,8 +121,7 @@ pub fn fig5(opts: &Opts) {
     let bins = [(0u32, 3u32), (3, 8), (8, 20), (20, u32::MAX)];
     println!("  config   age-bin      tasks   %slow(>=8s/label)   p95 s/label");
     for (mcfg, label) in [(Some(MaintenanceConfig::pm8()), "PM8"), (None, "PMinf")] {
-        let reports =
-            run_seeds(&digit_cfg(5, mcfg), &pop, &digit_specs(n_tasks, 5), 15, &opts.seeds);
+        let reports = run_seeds_opts(opts, &digit_cfg(5, mcfg), &pop, &digit_specs(n_tasks, 5), 15);
         for (lo, hi) in bins {
             let mut lat: Vec<f64> = Vec::new();
             for r in &reports {
@@ -138,8 +158,7 @@ pub fn fig6(opts: &Opts) {
     let n_tasks = opts.n(500);
     let pop = Population::mturk_live();
     for (mcfg, label) in [(Some(MaintenanceConfig::pm8()), "PM8"), (None, "PMinf")] {
-        let reports =
-            run_seeds(&digit_cfg(5, mcfg), &pop, &digit_specs(n_tasks, 5), 15, &opts.seeds);
+        let reports = run_seeds_opts(opts, &digit_cfg(5, mcfg), &pop, &digit_specs(n_tasks, 5), 15);
         let mut all_mpl: Vec<f64> = Vec::new();
         for r in &reports {
             all_mpl.extend(r.batches.iter().map(|b| b.mpl));
@@ -165,6 +184,34 @@ pub fn fig6(opts: &Opts) {
     }
 }
 
+/// The PMℓ axis of Figures 7–8.
+const THRESHOLDS: [f64; 5] = [32.0, 16.0, 8.0, 4.0, 2.0];
+
+/// One sweep over the PMℓ axis × seeds, reserve-boosted as Figures 7–8
+/// require. Returns reports grouped per threshold, in `THRESHOLDS`
+/// order.
+fn threshold_sweep(opts: &Opts, n_tasks: usize) -> Vec<Vec<RunReport>> {
+    run_scenarios(
+        opts,
+        &digit_cfg(5, None),
+        &Population::mturk_live(),
+        &digit_specs(n_tasks, 5),
+        15,
+        THRESHOLDS
+            .iter()
+            .map(|&threshold| {
+                let mutate: Box<dyn Fn(&mut RunConfig) + Send + Sync> = Box::new(move |c| {
+                    c.maintenance = Some(MaintenanceConfig {
+                        reserve_target: 5,
+                        ..MaintenanceConfig::with_threshold(threshold)
+                    })
+                });
+                (format!("PM{threshold}"), mutate)
+            })
+            .collect(),
+    )
+}
+
 /// Figure 7: workers replaced over time vs threshold.
 pub fn fig7(opts: &Opts) {
     header(
@@ -173,17 +220,13 @@ pub fn fig7(opts: &Opts) {
         "decreasing the threshold causes more workers to be replaced during a run",
     );
     let n_tasks = opts.n(400);
-    let pop = Population::mturk_live();
     println!("  PMl     replaced(total)  replaced/batch");
     let mut last = 0.0f64;
-    for threshold in [32.0, 16.0, 8.0, 4.0, 2.0] {
-        let mcfg =
-            MaintenanceConfig { reserve_target: 5, ..MaintenanceConfig::with_threshold(threshold) };
-        let reports =
-            run_seeds(&digit_cfg(5, Some(mcfg)), &pop, &digit_specs(n_tasks, 5), 15, &opts.seeds);
-        let evicted = mean_of(&reports, |r| r.workers_evicted as f64);
+    let grouped = threshold_sweep(opts, n_tasks);
+    for (threshold, reports) in THRESHOLDS.iter().zip(&grouped) {
+        let evicted = mean_of(reports, |r| r.workers_evicted as f64);
         let per_batch =
-            mean_of(&reports, |r| r.workers_evicted as f64 / r.batches.len().max(1) as f64);
+            mean_of(reports, |r| r.workers_evicted as f64 / r.batches.len().max(1) as f64);
         println!("  PM{threshold:<5} {evicted:>12.1}  {per_batch:>13.2}");
         // Qualitative check: replacement grows as the threshold falls.
         if evicted + 0.5 < last {
@@ -202,13 +245,8 @@ pub fn fig8(opts: &Opts) {
          what even fast workers can do and thrash",
     );
     let n_tasks = opts.n(400);
-    let pop = Population::mturk_live();
     println!("  PMl     age-slice   p50     p95     p99   (s/label)");
-    for threshold in [32.0, 16.0, 8.0, 4.0, 2.0] {
-        let mcfg =
-            MaintenanceConfig { reserve_target: 5, ..MaintenanceConfig::with_threshold(threshold) };
-        let reports =
-            run_seeds(&digit_cfg(5, Some(mcfg)), &pop, &digit_specs(n_tasks, 5), 15, &opts.seeds);
+    for (threshold, reports) in THRESHOLDS.iter().zip(threshold_sweep(opts, n_tasks)) {
         for (lo, hi, label) in [(0u32, 5u32, "<5"), (5, 15, "5-15"), (15, u32::MAX, "15+")] {
             let lat: Vec<f64> = reports
                 .iter()

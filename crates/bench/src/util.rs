@@ -1,9 +1,9 @@
 //! Shared experiment plumbing: options, seed averaging, table printing.
 
 use clamshell_core::metrics::RunReport;
-use clamshell_core::runner::run_batched;
 use clamshell_core::task::TaskSpec;
 use clamshell_core::RunConfig;
+use clamshell_sweep::{threads, Grid};
 use clamshell_trace::Population;
 
 /// Global harness options.
@@ -14,11 +14,16 @@ pub struct Opts {
     /// Scale factor in (0, 1] shrinking task counts / budgets for smoke
     /// runs (`--quick` sets 0.25).
     pub scale: f64,
+    /// Worker threads for the sweep engine; `None` resolves via the
+    /// `CLAMSHELL_THREADS` environment variable, else available
+    /// parallelism. Thread count never changes experiment output — the
+    /// engine merges results in job-index order.
+    pub threads: Option<usize>,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { seeds: vec![1, 2, 3], scale: 1.0 }
+        Opts { seeds: vec![1, 2, 3], scale: 1.0, threads: None }
     }
 }
 
@@ -26,6 +31,11 @@ impl Opts {
     /// Scale an experiment size.
     pub fn n(&self, full: usize) -> usize {
         ((full as f64 * self.scale).round() as usize).max(1)
+    }
+
+    /// Resolved sweep-engine thread count.
+    pub fn thread_count(&self) -> usize {
+        threads::resolve(self.threads)
     }
 }
 
@@ -39,7 +49,15 @@ pub fn digit_specs(n_tasks: usize, ng: usize) -> Vec<TaskSpec> {
     (0..n_tasks).map(|i| TaskSpec::new((0..ng).map(|j| ((i + j) % 10) as u32).collect())).collect()
 }
 
-/// Run one configuration over all seeds and return the reports.
+/// Run one configuration over all seeds and return the reports, seed
+/// order preserved.
+///
+/// Serial-compat shim over the sweep engine: the signature predates
+/// `clamshell-sweep` and is kept for callers that sweep a single
+/// config, but the work now fans across the engine's work-stealing
+/// pool (thread count from `CLAMSHELL_THREADS`, else available
+/// parallelism). Reports are merged in seed order, so output is
+/// byte-identical to the old serial loop at any thread count.
 pub fn run_seeds(
     base: &RunConfig,
     population: &Population,
@@ -47,13 +65,49 @@ pub fn run_seeds(
     batch_size: usize,
     seeds: &[u64],
 ) -> Vec<RunReport> {
-    seeds
-        .iter()
-        .map(|&seed| {
-            let cfg = RunConfig { seed, ..base.clone() };
-            run_batched(cfg, population.clone(), specs.to_vec(), batch_size)
-        })
-        .collect()
+    Grid::new(base.clone(), population.clone(), specs.to_vec(), batch_size)
+        .seeds(seeds)
+        .run_all(None)
+}
+
+/// [`run_seeds`] with the seed axis *and* thread count taken from
+/// `opts` — what experiments should call, so a caller-supplied
+/// `Opts::threads` is honored on every sweep path.
+pub fn run_seeds_opts(
+    opts: &Opts,
+    base: &RunConfig,
+    population: &Population,
+    specs: &[TaskSpec],
+    batch_size: usize,
+) -> Vec<RunReport> {
+    Grid::new(base.clone(), population.clone(), specs.to_vec(), batch_size)
+        .seeds(&opts.seeds)
+        .run_all(opts.threads)
+}
+
+/// A labeled config mutation, as accepted by [`run_scenarios`].
+pub type ScenarioSpec = (String, Box<dyn Fn(&mut RunConfig) + Send + Sync>);
+
+/// Run labeled scenario mutations of `base` × `opts.seeds` through the
+/// sweep engine in one fan-out.
+///
+/// Returns reports grouped scenario-major (declaration order), seeds in
+/// `opts.seeds` order within each group — the shape experiment tables
+/// print from.
+pub fn run_scenarios(
+    opts: &Opts,
+    base: &RunConfig,
+    population: &Population,
+    specs: &[TaskSpec],
+    batch_size: usize,
+    scenarios: Vec<ScenarioSpec>,
+) -> Vec<Vec<RunReport>> {
+    let mut grid =
+        Grid::new(base.clone(), population.clone(), specs.to_vec(), batch_size).seeds(&opts.seeds);
+    for (label, mutate) in scenarios {
+        grid = grid.scenario(label, mutate);
+    }
+    grid.run_grouped(opts.threads)
 }
 
 /// Mean of a per-report metric.
@@ -99,7 +153,7 @@ mod tests {
 
     #[test]
     fn opts_scaling_floors_at_one() {
-        let o = Opts { seeds: vec![1], scale: 0.001 };
+        let o = Opts { seeds: vec![1], scale: 0.001, ..Default::default() };
         assert_eq!(o.n(100), 1);
         let full = Opts::default();
         assert_eq!(full.n(100), 100);
@@ -120,5 +174,32 @@ mod tests {
         let reports = run_seeds(&cfg, &Population::mturk_live(), &binary_specs(4, 2), 4, &[1, 2]);
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().all(|r| r.tasks.len() == 4));
+    }
+
+    #[test]
+    fn run_scenarios_groups_scenario_major_seed_minor() {
+        let opts = Opts { seeds: vec![1, 2], ..Default::default() };
+        let cfg = RunConfig { pool_size: 4, ..Default::default() };
+        let pop = Population::mturk_live();
+        let specs = binary_specs(4, 2);
+        let grouped = run_scenarios(
+            &opts,
+            &cfg,
+            &pop,
+            &specs,
+            4,
+            vec![
+                ("sm".into(), Box::new(|c: &mut RunConfig| c.straggler = Some(Default::default()))),
+                ("base".into(), Box::new(|_: &mut RunConfig| {})),
+            ],
+        );
+        assert_eq!(grouped.len(), 2);
+        assert!(grouped.iter().all(|row| row.len() == 2));
+        // The identity scenario reproduces run_seeds exactly.
+        let direct = run_seeds(&cfg, &pop, &specs, 4, &opts.seeds);
+        for (a, b) in grouped[1].iter().zip(&direct) {
+            assert_eq!(a.total_secs(), b.total_secs());
+            assert_eq!(a.cost.total_micro(), b.cost.total_micro());
+        }
     }
 }

@@ -1,0 +1,238 @@
+//! Streaming aggregation: per-scenario statistics without buffering
+//! reports.
+//!
+//! A full [`RunReport`] holds every task, assignment, and batch of a
+//! run — far too heavy to keep around for a million-cell sweep. The
+//! [`Aggregator`] trait receives each report exactly once, in job-index
+//! order, and is expected to fold it into constant-size state.
+//! [`MetricsAggregator`] is the standard implementation: one
+//! [`OnlineStats`] (Welford) accumulator per scenario × metric, merged
+//! across partial aggregators with the parallel-Welford rule, so the
+//! retained state is `O(scenarios × metrics)` regardless of sweep size.
+
+use crate::grid::JobMeta;
+use clamshell_core::metrics::RunReport;
+use clamshell_sim::stats::OnlineStats;
+
+/// A streaming consumer of sweep results.
+///
+/// `consume` is called once per completed cell. Calls arrive in strictly
+/// increasing job-index order (with gaps only after a cancellation), on
+/// the coordinating thread — implementations need no synchronization.
+pub trait Aggregator {
+    /// Fold one cell's report into the aggregate.
+    fn consume(&mut self, meta: &JobMeta, report: &RunReport);
+}
+
+/// Blanket impl so plain closures can serve as aggregators.
+impl<F: FnMut(&JobMeta, &RunReport)> Aggregator for F {
+    fn consume(&mut self, meta: &JobMeta, report: &RunReport) {
+        self(meta, report)
+    }
+}
+
+/// One scalar metric extracted from a [`RunReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct Metric {
+    /// Metric name, used to address columns in the aggregate table.
+    pub name: &'static str,
+    /// Extractor mapping a report to the metric value.
+    pub extract: fn(&RunReport) -> f64,
+}
+
+impl Metric {
+    /// The harness's standard metric set: wall-clock, throughput,
+    /// per-batch latency variability, tail latency (via
+    /// [`Summary`](clamshell_sim::stats::Summary)), and cost.
+    pub fn standard() -> Vec<Metric> {
+        vec![
+            Metric { name: "total_secs", extract: |r| r.total_secs() },
+            Metric { name: "throughput", extract: |r| r.throughput() },
+            Metric { name: "mean_batch_std", extract: |r| r.mean_batch_std() },
+            Metric { name: "p95_task_latency", extract: |r| r.task_latency_summary().p95 },
+            Metric { name: "cost_usd", extract: |r| r.cost.total_usd() },
+        ]
+    }
+}
+
+/// Per-scenario streaming statistics over a fixed metric set.
+///
+/// Cell `(scenario s, metric m)` accumulates one [`OnlineStats`] across
+/// the scenario's seeds. Two aggregators built from disjoint slices of
+/// the same sweep [`merge`](Self::merge) into exactly the aggregator of
+/// the whole sweep (parallel Welford), which is what the engine's
+/// deterministic-fold tests pin down.
+#[derive(Debug, Clone)]
+pub struct MetricsAggregator {
+    metrics: Vec<Metric>,
+    /// `cells[scenario][metric]`.
+    cells: Vec<Vec<OnlineStats>>,
+}
+
+impl MetricsAggregator {
+    /// An empty aggregator for `n_scenarios` rows over `metrics`.
+    pub fn new(n_scenarios: usize, metrics: Vec<Metric>) -> Self {
+        assert!(!metrics.is_empty(), "need at least one metric");
+        let cells = vec![vec![OnlineStats::new(); metrics.len()]; n_scenarios];
+        MetricsAggregator { metrics, cells }
+    }
+
+    /// The metric set, in column order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Number of scenario rows.
+    pub fn n_scenarios(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Column index of `metric`, panicking on unknown names (a typo'd
+    /// metric is a programming error, not data).
+    fn column(&self, metric: &str) -> usize {
+        self.metrics
+            .iter()
+            .position(|m| m.name == metric)
+            .unwrap_or_else(|| panic!("unknown metric {metric:?}"))
+    }
+
+    /// Accumulated statistics for `(scenario, metric)`.
+    pub fn stats(&self, scenario: usize, metric: &str) -> &OnlineStats {
+        &self.cells[scenario][self.column(metric)]
+    }
+
+    /// Mean of `metric` over the seeds of `scenario`.
+    pub fn mean(&self, scenario: usize, metric: &str) -> f64 {
+        self.stats(scenario, metric).mean()
+    }
+
+    /// Standard deviation of `metric` over the seeds of `scenario`.
+    pub fn std(&self, scenario: usize, metric: &str) -> f64 {
+        self.stats(scenario, metric).std()
+    }
+
+    /// Merge another partial aggregate (same shape) into this one.
+    pub fn merge(&mut self, other: &MetricsAggregator) {
+        assert_eq!(self.cells.len(), other.cells.len(), "scenario count mismatch");
+        assert_eq!(self.metrics.len(), other.metrics.len(), "metric count mismatch");
+        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.merge(b);
+            }
+        }
+    }
+}
+
+impl Aggregator for MetricsAggregator {
+    fn consume(&mut self, meta: &JobMeta, report: &RunReport) {
+        let row = &mut self.cells[meta.scenario];
+        for (cell, metric) in row.iter_mut().zip(&self.metrics) {
+            cell.push((metric.extract)(report));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use clamshell_core::task::TaskSpec;
+    use clamshell_core::RunConfig;
+    use clamshell_trace::Population;
+    use std::sync::Arc;
+
+    fn grid() -> Grid {
+        let specs: Vec<TaskSpec> = (0..4).map(|i| TaskSpec::new(vec![(i % 2) as u32; 2])).collect();
+        Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs,
+            4,
+        )
+        .seeds(&[1, 2, 3, 4])
+        .scenario("sm", |c| c.straggler = Some(Default::default()))
+        .scenario("nosm", |c| c.straggler = None)
+    }
+
+    #[test]
+    fn streaming_aggregate_matches_serial_fold() {
+        let g = grid();
+        let mut agg = MetricsAggregator::new(g.n_scenarios(), Metric::standard());
+        let status = g.run_streaming(Some(4), &mut agg);
+        assert!(status.is_complete());
+
+        // Serial reference fold over the same reports.
+        let reports = g.run_all(Some(1));
+        let mut reference = MetricsAggregator::new(g.n_scenarios(), Metric::standard());
+        for (i, r) in reports.iter().enumerate() {
+            reference.consume(&g.meta(i), r);
+        }
+        for s in 0..g.n_scenarios() {
+            for m in agg.metrics().to_vec() {
+                assert_eq!(agg.stats(s, m.name).count(), 4);
+                assert_eq!(
+                    agg.stats(s, m.name),
+                    reference.stats(s, m.name),
+                    "cell ({s}, {})",
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_of_partials_equals_whole() {
+        let g = grid();
+        let reports = g.run_all(Some(1));
+        let metas: Vec<_> = (0..g.n_jobs()).map(|i| g.meta(i)).collect();
+
+        let mut whole = MetricsAggregator::new(g.n_scenarios(), Metric::standard());
+        for (meta, r) in metas.iter().zip(&reports) {
+            whole.consume(meta, r);
+        }
+        let mut left = MetricsAggregator::new(g.n_scenarios(), Metric::standard());
+        let mut right = MetricsAggregator::new(g.n_scenarios(), Metric::standard());
+        for (meta, r) in metas.iter().zip(&reports) {
+            if meta.index % 2 == 0 {
+                left.consume(meta, r);
+            } else {
+                right.consume(meta, r);
+            }
+        }
+        left.merge(&right);
+        for s in 0..g.n_scenarios() {
+            for m in whole.metrics().to_vec() {
+                let (a, b) = (left.stats(s, m.name), whole.stats(s, m.name));
+                assert_eq!(a.count(), b.count());
+                assert!((a.mean() - b.mean()).abs() < 1e-9, "mean cell ({s}, {})", m.name);
+                assert!(
+                    (a.variance() - b.variance()).abs() < 1e-9,
+                    "variance cell ({s}, {})",
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_aggregators_work() {
+        let g = grid();
+        let labels = Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+        let labels2 = labels.clone();
+        let mut agg = move |meta: &JobMeta, _report: &RunReport| {
+            labels2.lock().unwrap().push(format!("{}:{}", meta.label, meta.seed));
+        };
+        g.run_streaming(Some(2), &mut agg);
+        let got = labels.lock().unwrap().clone();
+        assert_eq!(got.len(), 8);
+        assert_eq!(got[0], "sm:1");
+        assert_eq!(got[7], "nosm:4");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown metric")]
+    fn unknown_metric_panics() {
+        let agg = MetricsAggregator::new(1, Metric::standard());
+        agg.mean(0, "nope");
+    }
+}

@@ -1,0 +1,404 @@
+//! The [`Grid`] builder: scenario axes × seeds → an indexed job list.
+
+use crate::aggregate::Aggregator;
+use crate::job::Job;
+use crate::pool::{execute, execute_streaming, ExecStatus};
+use crate::progress::{CancelToken, ProgressFn};
+use crate::threads;
+use clamshell_core::metrics::RunReport;
+use clamshell_core::task::TaskSpec;
+use clamshell_core::RunConfig;
+use clamshell_trace::Population;
+use std::sync::Arc;
+
+/// One axis point of a grid: a labeled mutation of the base config,
+/// optionally overriding the grid's task specs and batch size (needed by
+/// sweeps where the knob changes the workload shape, e.g. the `R` and
+/// `Ng` axes of Figures 3 and 9–10).
+pub struct Scenario {
+    label: Arc<str>,
+    mutate: Arc<dyn Fn(&mut RunConfig) + Send + Sync>,
+    specs: Option<Arc<Vec<TaskSpec>>>,
+    batch_size: Option<usize>,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("label", &self.label)
+            .field("specs", &self.specs.as_ref().map(|s| s.len()))
+            .field("batch_size", &self.batch_size)
+            .finish()
+    }
+}
+
+/// Identity of one grid cell, as handed to streaming aggregators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobMeta {
+    /// Position in enumeration order.
+    pub index: usize,
+    /// Scenario index (row of the grid).
+    pub scenario: usize,
+    /// Scenario label.
+    pub label: Arc<str>,
+    /// The cell's seed.
+    pub seed: u64,
+}
+
+/// Builder for a seed × scenario sweep over
+/// [`run_batched`](clamshell_core::runner::run_batched).
+///
+/// Enumeration order is **scenario-major, seed-minor** in declaration
+/// order: scenario 0 × every seed, then scenario 1 × every seed, and so
+/// on. Job `index` is the position in that order, and every result-
+/// returning method presents reports in it, which is what makes sweeps
+/// deterministic across thread counts. A grid with no declared
+/// scenarios runs the base config as a single implicit scenario
+/// labeled `"base"`.
+pub struct Grid {
+    base: RunConfig,
+    population: Arc<Population>,
+    specs: Arc<Vec<TaskSpec>>,
+    batch_size: usize,
+    seeds: Vec<u64>,
+    scenarios: Vec<Scenario>,
+}
+
+impl std::fmt::Debug for Grid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Grid")
+            .field("seeds", &self.seeds)
+            .field("scenarios", &self.scenarios)
+            .field("specs", &self.specs.len())
+            .field("batch_size", &self.batch_size)
+            .finish()
+    }
+}
+
+impl Grid {
+    /// A grid over `base`, labeling `specs` in batches of `batch_size`
+    /// against `population`. Starts with the base config's seed as the
+    /// only seed and no scenarios.
+    pub fn new(
+        base: RunConfig,
+        population: Population,
+        specs: Vec<TaskSpec>,
+        batch_size: usize,
+    ) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let seeds = vec![base.seed];
+        Grid {
+            base,
+            population: Arc::new(population),
+            specs: Arc::new(specs),
+            batch_size,
+            seeds,
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Set the seed axis (replaces the default single seed).
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        assert!(!seeds.is_empty(), "seed axis must be non-empty");
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Append a scenario: a labeled mutation of the base config.
+    pub fn scenario(
+        mut self,
+        label: impl Into<Arc<str>>,
+        mutate: impl Fn(&mut RunConfig) + Send + Sync + 'static,
+    ) -> Self {
+        self.scenarios.push(Scenario {
+            label: label.into(),
+            mutate: Arc::new(mutate),
+            specs: None,
+            batch_size: None,
+        });
+        self
+    }
+
+    /// Append a scenario that also overrides the task specs and batch
+    /// size (for axes that reshape the workload itself).
+    pub fn scenario_with(
+        mut self,
+        label: impl Into<Arc<str>>,
+        mutate: impl Fn(&mut RunConfig) + Send + Sync + 'static,
+        specs: Vec<TaskSpec>,
+        batch_size: usize,
+    ) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        self.scenarios.push(Scenario {
+            label: label.into(),
+            mutate: Arc::new(mutate),
+            specs: Some(Arc::new(specs)),
+            batch_size: Some(batch_size),
+        });
+        self
+    }
+
+    /// Number of scenario rows (at least 1: the implicit base scenario).
+    pub fn n_scenarios(&self) -> usize {
+        self.scenarios.len().max(1)
+    }
+
+    /// Number of seeds per scenario.
+    pub fn n_seeds(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Total cells in the grid.
+    pub fn n_jobs(&self) -> usize {
+        self.n_scenarios() * self.n_seeds()
+    }
+
+    /// Cell identity at `index` in enumeration order.
+    pub fn meta(&self, index: usize) -> JobMeta {
+        assert!(index < self.n_jobs(), "job index {index} out of range");
+        let scenario = index / self.n_seeds();
+        let seed = self.seeds[index % self.n_seeds()];
+        let label = match self.scenarios.get(scenario) {
+            Some(s) => s.label.clone(),
+            None => "base".into(),
+        };
+        JobMeta { index, scenario, label, seed }
+    }
+
+    /// Materialize the job list in enumeration order.
+    pub fn jobs(&self) -> Vec<Job> {
+        let mut jobs = Vec::with_capacity(self.n_jobs());
+        for scenario_idx in 0..self.n_scenarios() {
+            let scenario = self.scenarios.get(scenario_idx);
+            let mut cfg = self.base.clone();
+            if let Some(s) = scenario {
+                (s.mutate)(&mut cfg);
+            }
+            let specs =
+                scenario.and_then(|s| s.specs.clone()).unwrap_or_else(|| self.specs.clone());
+            let batch_size = scenario.and_then(|s| s.batch_size).unwrap_or(self.batch_size);
+            let label: Arc<str> = match scenario {
+                Some(s) => s.label.clone(),
+                None => "base".into(),
+            };
+            for &seed in &self.seeds {
+                jobs.push(Job {
+                    index: jobs.len(),
+                    scenario: scenario_idx,
+                    label: label.clone(),
+                    seed,
+                    cfg: RunConfig { seed, ..cfg.clone() },
+                    specs: specs.clone(),
+                    batch_size,
+                    population: self.population.clone(),
+                });
+            }
+        }
+        jobs
+    }
+
+    /// Run the whole grid, collecting reports in enumeration order.
+    /// `threads = None` resolves via [`threads::resolve`]
+    /// (`CLAMSHELL_THREADS`, else available parallelism). Skipped cells
+    /// (after cancellation) are `None`.
+    pub fn run(
+        &self,
+        threads: Option<usize>,
+        cancel: &CancelToken,
+    ) -> (Vec<Option<RunReport>>, ExecStatus) {
+        execute(self.jobs(), threads::resolve(threads), cancel, |_, _, job: Job| job.run())
+    }
+
+    /// Run the whole grid with no cancellation and unwrap the reports
+    /// (enumeration order).
+    pub fn run_all(&self, threads: Option<usize>) -> Vec<RunReport> {
+        let (reports, status) = self.run(threads, &CancelToken::new());
+        debug_assert!(status.is_complete());
+        reports.into_iter().map(|r| r.expect("uncancelled sweep completes")).collect()
+    }
+
+    /// Run the whole grid and group reports by scenario: `out[s][k]` is
+    /// scenario `s` under the `k`-th seed.
+    pub fn run_grouped(&self, threads: Option<usize>) -> Vec<Vec<RunReport>> {
+        let n_seeds = self.n_seeds();
+        let mut grouped: Vec<Vec<RunReport>> = Vec::with_capacity(self.n_scenarios());
+        let mut row: Vec<RunReport> = Vec::with_capacity(n_seeds);
+        for report in self.run_all(threads) {
+            row.push(report);
+            if row.len() == n_seeds {
+                grouped.push(std::mem::take(&mut row));
+            }
+        }
+        grouped
+    }
+
+    /// Stream the grid through `agg` without buffering reports: each
+    /// report is handed to the aggregator in enumeration order as soon
+    /// as its prefix is complete, then dropped.
+    pub fn run_streaming(&self, threads: Option<usize>, agg: &mut dyn Aggregator) -> ExecStatus {
+        self.run_streaming_with(threads, &CancelToken::new(), None, agg)
+    }
+
+    /// [`Self::run_streaming`] with explicit cancellation and progress
+    /// hooks. On cancellation the aggregator may observe gaps (but never
+    /// out-of-order indices).
+    pub fn run_streaming_with(
+        &self,
+        threads: Option<usize>,
+        cancel: &CancelToken,
+        progress: Option<ProgressFn<'_>>,
+        agg: &mut dyn Aggregator,
+    ) -> ExecStatus {
+        execute_streaming(
+            self.jobs(),
+            threads::resolve(threads),
+            cancel,
+            progress,
+            |_, _, job: Job| job.run(),
+            &mut |index, report| agg.consume(&self.meta(index), &report),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(n: usize) -> Vec<TaskSpec> {
+        (0..n).map(|i| TaskSpec::new(vec![(i % 2) as u32; 2])).collect()
+    }
+
+    fn small_grid() -> Grid {
+        Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs(4),
+            4,
+        )
+        .seeds(&[10, 20, 30])
+        .scenario("sm", |c| c.straggler = Some(Default::default()))
+        .scenario("nosm", |c| c.straggler = None)
+    }
+
+    #[test]
+    fn enumeration_is_scenario_major_seed_minor() {
+        let grid = small_grid();
+        assert_eq!(grid.n_jobs(), 6);
+        let jobs = grid.jobs();
+        let got: Vec<(usize, &str, u64)> =
+            jobs.iter().map(|j| (j.scenario, &*j.label, j.seed)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, "sm", 10),
+                (0, "sm", 20),
+                (0, "sm", 30),
+                (1, "nosm", 10),
+                (1, "nosm", 20),
+                (1, "nosm", 30),
+            ]
+        );
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.index, i);
+            assert_eq!(j.cfg.seed, j.seed);
+            let meta = grid.meta(i);
+            assert_eq!((meta.scenario, &*meta.label, meta.seed), got[i]);
+        }
+        // Scenario mutations applied on top of the base.
+        assert!(jobs[0].cfg.straggler.is_some());
+        assert!(jobs[3].cfg.straggler.is_none());
+    }
+
+    #[test]
+    fn gridless_base_is_one_implicit_scenario() {
+        let grid = Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs(4),
+            4,
+        )
+        .seeds(&[7, 8]);
+        assert_eq!(grid.n_scenarios(), 1);
+        let jobs = grid.jobs();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(&*jobs[0].label, "base");
+        assert_eq!(&*grid.meta(1).label, "base");
+    }
+
+    #[test]
+    fn scenario_with_overrides_specs_and_batch() {
+        let grid = Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs(4),
+            4,
+        )
+        .scenario("default-shape", |_| {})
+        .scenario_with("wide", |_| {}, specs(8), 2);
+        let jobs = grid.jobs();
+        assert_eq!(jobs[0].specs.len(), 4);
+        assert_eq!(jobs[0].batch_size, 4);
+        assert_eq!(jobs[1].specs.len(), 8);
+        assert_eq!(jobs[1].batch_size, 2);
+    }
+
+    #[test]
+    fn grouped_matches_flat_order() {
+        let grid = small_grid();
+        let flat = grid.run_all(Some(2));
+        let grouped = grid.run_grouped(Some(2));
+        assert_eq!(grouped.len(), 2);
+        for (s, row) in grouped.iter().enumerate() {
+            assert_eq!(row.len(), 3);
+            for (k, report) in row.iter().enumerate() {
+                assert_eq!(
+                    serde_json::to_string(report).unwrap(),
+                    serde_json::to_string(&flat[s * 3 + k]).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_reports() {
+        let grid = small_grid();
+        let one = grid.run_all(Some(1));
+        let four = grid.run_all(Some(4));
+        assert_eq!(serde_json::to_string(&one).unwrap(), serde_json::to_string(&four).unwrap());
+    }
+
+    #[test]
+    fn cancellation_mid_sweep_returns_partial() {
+        // 1 scenario x 8 seeds: cancelling after the 2nd delivery can
+        // leak at most ~2 more jobs past the bounded funnel.
+        let grid = Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs(4),
+            4,
+        )
+        .seeds(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let cancel = CancelToken::new();
+        let mut consumed = 0usize;
+        struct Counter<'a>(&'a mut usize);
+        impl Aggregator for Counter<'_> {
+            fn consume(&mut self, _meta: &JobMeta, _report: &RunReport) {
+                *self.0 += 1;
+            }
+        }
+        let cancel_ref = &cancel;
+        let status = grid.run_streaming_with(
+            Some(1),
+            &cancel,
+            Some(&mut |done, _| {
+                if done == 2 {
+                    cancel_ref.cancel();
+                }
+            }),
+            &mut Counter(&mut consumed),
+        );
+        assert!(status.cancelled);
+        assert!(status.completed < grid.n_jobs());
+        assert_eq!(status.completed, consumed);
+    }
+}

@@ -1,0 +1,79 @@
+//! # clamshell-sweep
+//!
+//! A deterministic parallel sweep engine for seed × scenario grids.
+//!
+//! Every CLAMShell figure is a Monte-Carlo average over seeds and a grid
+//! of Table-3 knobs (`PMℓ`, `SM`, `Np`, `Ng`, `R`, `Alg`). Each cell of
+//! such a grid is an independent simulation — a pure function of its
+//! [`RunConfig`](clamshell_core::RunConfig) — so the whole sweep is
+//! embarrassingly parallel. This crate fans the cells across a
+//! work-stealing thread pool built from `std::thread` + channels (no
+//! external dependencies; the build is offline) and merges results back
+//! in **job-index order**, so the output of a sweep is byte-identical
+//! regardless of thread count or scheduling.
+//!
+//! ## Layers
+//!
+//! * [`queue`] — the work-stealing deque set: each worker owns a local
+//!   queue and steals from its peers when drained.
+//! * [`pool`] — the generic scatter/gather executor: runs any
+//!   `Fn(usize, T) -> R` over a job list, streaming `(index, result)`
+//!   pairs through a reorder buffer so consumers observe index order.
+//! * [`job`] — the concrete sweep job: `(RunConfig, task specs, seed)`
+//!   plus its population and batch size, evaluated via
+//!   [`run_batched`](clamshell_core::runner::run_batched).
+//! * [`grid`] — the [`Grid`] builder: enumerates scenario axes
+//!   (mutation closures over a base config) × seeds into jobs.
+//! * [`aggregate`] — streaming per-cell statistics on
+//!   [`OnlineStats`](clamshell_sim::stats::OnlineStats), so million-cell
+//!   sweeps never buffer every [`RunReport`](clamshell_core::metrics::RunReport).
+//! * [`progress`] — cancellation tokens and completion callbacks.
+//! * [`threads`] — thread-count resolution: explicit value, else the
+//!   `CLAMSHELL_THREADS` environment variable, else available
+//!   parallelism.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use clamshell_core::{task::TaskSpec, RunConfig};
+//! use clamshell_sweep::{Grid, MetricsAggregator, Metric};
+//! use clamshell_trace::Population;
+//!
+//! let specs: Vec<TaskSpec> =
+//!     (0..8).map(|i| TaskSpec::new(vec![(i % 2) as u32; 2])).collect();
+//! let grid = Grid::new(
+//!     RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+//!     Population::mturk_live(),
+//!     specs,
+//!     4,
+//! )
+//! .seeds(&[1, 2, 3])
+//! .scenario("SM", |c| c.straggler = Some(Default::default()))
+//! .scenario("NoSM", |c| c.straggler = None);
+//!
+//! // Grouped reports, scenario-major, seeds in declared order.
+//! let grouped = grid.run_grouped(Some(2));
+//! assert_eq!(grouped.len(), 2);
+//! assert_eq!(grouped[0].len(), 3);
+//!
+//! // Or stream into per-scenario statistics without buffering reports.
+//! let mut agg = MetricsAggregator::new(grid.n_scenarios(), Metric::standard());
+//! grid.run_streaming(Some(2), &mut agg);
+//! assert_eq!(agg.stats(0, "total_secs").count(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod grid;
+pub mod job;
+pub mod pool;
+pub mod progress;
+pub mod queue;
+pub mod threads;
+
+pub use aggregate::{Aggregator, Metric, MetricsAggregator};
+pub use grid::{Grid, JobMeta, Scenario};
+pub use pool::{execute, execute_streaming, ExecStatus};
+pub use progress::{CancelToken, ProgressFn};
+pub use queue::StealQueues;

@@ -1,0 +1,54 @@
+//! Cancellation tokens and progress callbacks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shareable cancellation flag.
+///
+/// Workers check the token before starting each job: a cancelled sweep
+/// finishes its in-flight jobs, skips everything still queued, and
+/// returns partial results. Cloning is cheap (an `Arc` handle); all
+/// clones observe the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A progress callback: invoked as `(completed, total)` after each job's
+/// result has been delivered (in job-index order) to the consumer.
+///
+/// The callback runs on the coordinating thread, never on workers, so it
+/// may freely mutate captured state — e.g. print a progress bar, or call
+/// [`CancelToken::cancel`] to stop the sweep mid-flight.
+pub type ProgressFn<'a> = &'a mut dyn FnMut(usize, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_starts_clear_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+}

@@ -1,0 +1,117 @@
+//! The work-stealing deque set.
+//!
+//! Each worker owns a local double-ended queue. Jobs are dealt
+//! round-robin across the queues up front (low indices spread wide, so
+//! the in-order reorder buffer drains early), then a worker pops from
+//! the **front** of its own queue and, once drained, steals from the
+//! **back** of its peers'. Stealing from the opposite end keeps thieves
+//! off the cache-warm front of a victim's queue and minimizes lock
+//! hold-time disputes.
+//!
+//! Mutex-guarded `VecDeque`s rather than lock-free Chase–Lev deques: a
+//! sweep job is an entire discrete-event simulation (milliseconds to
+//! seconds), so queue overhead is noise and the simple implementation is
+//! auditable. No jobs are ever produced after construction, which makes
+//! "every queue observed empty" a correct termination condition.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A fixed set of per-worker work-stealing queues.
+#[derive(Debug)]
+pub struct StealQueues<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> StealQueues<T> {
+    /// Deal `items` round-robin across `workers` queues.
+    ///
+    /// Item `i` lands in queue `i % workers`, preserving index order
+    /// within each queue, so worker `w`'s local queue holds items
+    /// `w, w + workers, w + 2·workers, …` front-to-back.
+    pub fn deal(items: Vec<T>, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker queue");
+        let mut queues: Vec<VecDeque<T>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            queues[i % workers].push_back(item);
+        }
+        StealQueues { queues: queues.into_iter().map(Mutex::new).collect() }
+    }
+
+    /// Number of worker queues.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Pop the next job for `worker`: front of its own queue, else steal
+    /// from the back of the first non-empty peer (scanning `worker + 1`,
+    /// `worker + 2`, … circularly). `None` means every queue was
+    /// observed empty — with no producers, that worker is done.
+    ///
+    /// The returned flag is `true` when the job was stolen rather than
+    /// taken locally (exposed for scheduling tests and diagnostics).
+    pub fn pop(&self, worker: usize) -> Option<(T, bool)> {
+        debug_assert!(worker < self.queues.len());
+        if let Some(job) = self.queues[worker].lock().unwrap().pop_front() {
+            return Some((job, false));
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            if let Some(job) = self.queues[victim].lock().unwrap().pop_back() {
+                return Some((job, true));
+            }
+        }
+        None
+    }
+
+    /// Total jobs currently queued (racy under concurrent pops; exact
+    /// when quiescent).
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.lock().unwrap().len()).sum()
+    }
+
+    /// True when every queue is empty (same caveat as [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deal_is_round_robin_in_index_order() {
+        let q = StealQueues::deal((0..7).collect(), 3);
+        assert_eq!(q.workers(), 3);
+        assert_eq!(q.len(), 7);
+        // Worker 0 drains its own queue front-to-back: 0, 3, 6.
+        let own: Vec<_> = (0..3).map(|_| q.pop(0).unwrap()).collect();
+        assert_eq!(own.iter().map(|(j, _)| *j).collect::<Vec<_>>(), vec![0, 3, 6]);
+        assert!(own.iter().all(|&(_, stolen)| !stolen));
+    }
+
+    #[test]
+    fn drained_worker_steals_from_peers_back() {
+        let q = StealQueues::deal((0..6).collect(), 3);
+        // Drain worker 2's local items (2, 5).
+        assert_eq!(q.pop(2).unwrap(), (2, false));
+        assert_eq!(q.pop(2).unwrap(), (5, false));
+        // Next pop steals from worker 0's back: its queue is [0, 3].
+        assert_eq!(q.pop(2).unwrap(), (3, true));
+        assert_eq!(q.pop(2).unwrap(), (0, true));
+        // Then worker 1's back.
+        assert_eq!(q.pop(2).unwrap(), (4, true));
+        assert_eq!(q.pop(2).unwrap(), (1, true));
+        assert_eq!(q.pop(2), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn single_worker_sees_pure_index_order() {
+        let q = StealQueues::deal((0..5).collect(), 1);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop(0).map(|(j, _)| j)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Thread-count resolution.
+
+/// Environment variable consulted when no explicit thread count is given.
+pub const THREADS_ENV: &str = "CLAMSHELL_THREADS";
+
+/// Resolve the worker-thread count for a sweep.
+///
+/// Priority: the `explicit` argument, then the [`THREADS_ENV`]
+/// environment variable, then [`std::thread::available_parallelism`].
+/// The result is always at least 1; unparsable or zero values fall
+/// through to the next source. Because the engine merges results in
+/// job-index order, the choice only affects wall-clock time, never
+/// output.
+pub fn resolve(explicit: Option<usize>) -> usize {
+    explicit
+        .filter(|&n| n > 0)
+        .or_else(|| {
+            std::env::var(THREADS_ENV).ok().and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0)
+        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_wins() {
+        assert_eq!(resolve(Some(3)), 3);
+    }
+
+    #[test]
+    fn zero_explicit_falls_through() {
+        assert!(resolve(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn default_is_positive() {
+        assert!(resolve(None) >= 1);
+    }
+}

@@ -2,11 +2,17 @@
 //! passive, and CLAMShell's hybrid — on an easy and a hard dataset, and
 //! watch hybrid track the better of the two (§5.1 / Figure 15).
 //!
+//! The three strategies are independent runs, so they fan out across
+//! the sweep engine's work-stealing pool; results come back in
+//! submission order, so the printout is identical at any thread count
+//! (set `CLAMSHELL_THREADS` to experiment).
+//!
 //! ```text
 //! cargo run --release --example active_vs_hybrid
 //! ```
 
 use clamshell::prelude::*;
+use clamshell::sweep::{pool, threads};
 
 fn run(ds: &Dataset, strategy: Strategy, seed: u64) -> LearningOutcome {
     let run_cfg =
@@ -28,10 +34,12 @@ fn main() {
 
     for (name, ds) in [("easy", &easy), ("hard", &hard)] {
         println!("{name} dataset ({} features):", ds.dims());
-        for strategy in
-            [Strategy::Active { k: 5 }, Strategy::Passive, Strategy::Hybrid { active_frac: 0.5 }]
-        {
-            let out = run(ds, strategy, 9);
+        let strategies =
+            [Strategy::Active { k: 5 }, Strategy::Passive, Strategy::Hybrid { active_frac: 0.5 }];
+        let outcomes = pool::map(strategies.to_vec(), threads::resolve(None), |_, _, strategy| {
+            run(ds, strategy, 9)
+        });
+        for out in outcomes {
             let t80 = out
                 .curve
                 .time_to_accuracy(0.8)

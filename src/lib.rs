@@ -57,12 +57,14 @@
 //! | [`learn`] | ML substrate: logistic/softmax regression, uncertainty sampling, dataset generators |
 //! | [`quality`] | Quality control: majority voting, Dawid–Skene EM, inter-worker agreement |
 //! | [`core`] | The CLAMShell system: runner, straggler mitigation, pool maintenance, hybrid learning, baselines |
+//! | [`sweep`] | Deterministic parallel sweep engine: seed × scenario grids on a work-stealing pool |
 
 pub use clamshell_core as core;
 pub use clamshell_crowd as crowd;
 pub use clamshell_learn as learn;
 pub use clamshell_quality as quality;
 pub use clamshell_sim as sim;
+pub use clamshell_sweep as sweep;
 pub use clamshell_trace as trace;
 
 /// The commonly-used surface in one import.
@@ -92,5 +94,6 @@ pub mod prelude {
     pub use clamshell_learn::Dataset;
     pub use clamshell_quality::{majority_vote, ConfusionEm, DawidSkene, EmConfig};
     pub use clamshell_sim::{SimDuration, SimTime};
+    pub use clamshell_sweep::{CancelToken, Grid, Metric, MetricsAggregator};
     pub use clamshell_trace::{Population, WorkerProfile};
 }

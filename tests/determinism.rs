@@ -81,6 +81,61 @@ fn learning_runs_are_deterministic() {
 }
 
 #[test]
+fn sweeps_are_thread_count_invariant() {
+    // The engine's determinism contract: a sweep run with 1 thread and
+    // with 4 threads yields byte-identical serialized reports and
+    // byte-identical aggregate tables, because results are merged in
+    // job-index order regardless of scheduling.
+    let grid = || {
+        Grid::new(
+            RunConfig { pool_size: 8, ng: 5, ..Default::default() },
+            Population::mturk_live(),
+            specs(24),
+            8,
+        )
+        .seeds(&[1, 2, 3, 4])
+        .scenario("sm+pm", |c| {
+            c.straggler = Some(Default::default());
+            c.maintenance = Some(MaintenanceConfig::pm8());
+        })
+        .scenario("sm", |c| c.straggler = Some(Default::default()))
+        .scenario("baseline", |_| {})
+    };
+
+    // Serialized reports, byte for byte.
+    let one = grid().run_all(Some(1));
+    let four = grid().run_all(Some(4));
+    assert_eq!(one.len(), 12);
+    let bytes = |reports: &[RunReport]| {
+        reports.iter().map(|r| serde_json::to_string(r).unwrap()).collect::<Vec<_>>()
+    };
+    assert_eq!(bytes(&one), bytes(&four));
+
+    // Aggregate tables, byte for byte.
+    let table = |threads: usize| {
+        let g = grid();
+        let mut agg = MetricsAggregator::new(g.n_scenarios(), Metric::standard());
+        let status = g.run_streaming(Some(threads), &mut agg);
+        assert!(status.is_complete());
+        let mut out = String::new();
+        for s in 0..g.n_scenarios() {
+            for m in agg.metrics().to_vec() {
+                let cell = agg.stats(s, m.name);
+                out.push_str(&format!(
+                    "{s} {} n={} mean={:?} var={:?}\n",
+                    m.name,
+                    cell.count(),
+                    cell.mean(),
+                    cell.variance()
+                ));
+            }
+        }
+        out
+    };
+    assert_eq!(table(1), table(4));
+}
+
+#[test]
 fn dataset_generators_are_deterministic() {
     assert_eq!(
         make_classification(&GenConfig::default(), 42),
