@@ -7,15 +7,31 @@
 //! repro --all --quick          # smaller workloads, single seed
 //! repro fig9 --seeds 5         # average over 5 seeds
 //! repro --all --threads 4      # sweep-engine worker threads
+//! repro --help                 # usage (also -h)
 //! ```
 //!
 //! Flags compose order-independently: an explicit `--seeds N` always
 //! wins over `--quick`'s single-seed default, whichever comes first.
-//! `--threads N` (env fallback `CLAMSHELL_THREADS`) only changes how
-//! fast sweeps run — the engine merges results in job-index order, so
-//! stdout is byte-identical at any thread count.
+//! `--threads N` (env fallback `CLAMSHELL_THREADS`, default: available
+//! parallelism) only changes how fast sweeps run — the engine merges
+//! results in job-index order, so stdout is byte-identical at any
+//! thread count.
 
 use clamshell_bench::{registry, util::Opts};
+
+/// Usage text shared by `--help` and the no-argument listing.
+const USAGE: &str = "\
+usage: repro [--all] [--quick] [--seeds N] [--threads N] [--list] [name...]
+
+  --all        run every experiment
+  --quick      smaller workloads and a single seed (scale 0.25)
+  --seeds N    average over seeds 1..=N; always wins over --quick's
+               single-seed default, in either flag order
+  --threads N  sweep-engine worker threads (else CLAMSHELL_THREADS,
+               else available parallelism); never changes stdout —
+               results merge in job-index order at any thread count
+  --list       list experiments and exit
+  --help, -h   this message";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +48,10 @@ fn main() {
             "--all" => run_all = true,
             "--list" => list = true,
             "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             "--seeds" => {
                 i += 1;
                 let n: u64 =
@@ -75,7 +95,7 @@ fn main() {
         for (name, desc, _) in &all {
             println!("  {name:<10} {desc}");
         }
-        println!("\nusage: repro [--all|--quick|--seeds N|--threads N|--list] [name...]");
+        println!("\n{USAGE}");
         return;
     }
 

@@ -74,6 +74,13 @@ pub struct Runner {
     started: Option<SimTime>,
     last_completion: SimTime,
     evicted_this_boundary: usize,
+
+    // Reused scratch buffers for the per-assignment hot path. Each is
+    // cleared before use; holding them on the runner means the event loop
+    // stops allocating once the high-water marks are reached.
+    votes_scratch: Vec<Vote>,
+    eligible_scratch: Vec<TaskId>,
+    kick_scratch: Vec<WorkerId>,
 }
 
 impl Runner {
@@ -86,7 +93,9 @@ impl Runner {
         Runner {
             rng: Rng::new(cfg.seed ^ 0x9E37_79B9_7F4A_7C15),
             platform,
-            queue: EventQueue::new(),
+            // In-flight events are bounded by the pool (one completion per
+            // busy worker, plus abandon checks and recruitment arrivals).
+            queue: EventQueue::with_capacity(cfg.pool_size * 4 + 16),
             pool,
             maintainer: Maintainer::new(),
             tasks: Vec::new(),
@@ -106,7 +115,24 @@ impl Runner {
             last_completion: SimTime::ZERO,
             cfg,
             evicted_this_boundary: 0,
+            votes_scratch: Vec::new(),
+            eligible_scratch: Vec::new(),
+            kick_scratch: Vec::new(),
         }
+    }
+
+    /// Pre-size the task/assignment tables and record vectors for a run
+    /// labeling `n_tasks` tasks in total. [`run_batched`] calls this with
+    /// the full spec count; skipping it is harmless (the vectors grow on
+    /// demand) but costs regrow copies on large runs.
+    pub fn reserve_tasks(&mut self, n_tasks: usize) {
+        // Expected assignments per task: the vote quorum, plus one live
+        // straggler replica at a time when mitigation can duplicate work.
+        let per_task = self.cfg.quorum as usize + usize::from(self.cfg.straggler.is_some());
+        self.tasks.reserve(n_tasks);
+        self.task_records.reserve(n_tasks);
+        self.assignments.reserve(n_tasks * per_task);
+        self.assignment_records.reserve(n_tasks * per_task);
     }
 
     /// Current simulated time.
@@ -173,11 +199,15 @@ impl Runner {
             self.batch_tasks.push(id);
         }
 
-        // Kick all idle workers at the new work.
-        let idle: Vec<WorkerId> = self.idle.iter().copied().collect();
-        for w in idle {
+        // Kick all idle workers at the new work (snapshot into a reused
+        // scratch buffer: dispatch mutates `self.idle`).
+        let mut kick = std::mem::take(&mut self.kick_scratch);
+        kick.clear();
+        kick.extend(self.idle.iter().copied());
+        for &w in &kick {
             self.dispatch_worker(w);
         }
+        self.kick_scratch = kick;
 
         // Pump events until every task in the batch completes.
         while !self.batch_complete() {
@@ -323,12 +353,16 @@ impl Runner {
 
         // Mark complete, detach from the task.
         self.assignments[aid.0 as usize].completed = Some(now);
-        let task = &mut self.tasks[tid.0 as usize];
-        task.active.retain(|&x| x != aid);
+        self.tasks[tid.0 as usize].active.retain(|&x| x != aid);
 
-        // Produce the answer.
-        let truths = task.spec.truths.clone();
-        let labels = self.platform.sample_labels(w, &truths, self.cfg.n_classes);
+        // Produce the answer. The truths slice borrows straight out of the
+        // task table (disjoint from `self.platform`), so no per-assignment
+        // clone of the spec is needed.
+        let labels = self.platform.sample_labels(
+            w,
+            &self.tasks[tid.0 as usize].spec.truths,
+            self.cfg.n_classes,
+        );
         let age_before = self.pool.age(w);
         let span = now.since(a.start);
         self.tasks[tid.0 as usize].responses.push(TaskResponse {
@@ -372,49 +406,53 @@ impl Runner {
     /// the task record.
     fn complete_task(&mut self, tid: TaskId, finisher: WorkerId) {
         let now = self.now();
-        // Majority vote per record across the quorum of responses.
+        // Majority vote per record across the quorum of responses, built
+        // in a reused vote buffer (one ballot allocation total, not one
+        // per record per task).
+        let mut votes = std::mem::take(&mut self.votes_scratch);
         let task = &self.tasks[tid.0 as usize];
         let ng = task.spec.ng() as usize;
         let mut finals = Vec::with_capacity(ng);
         for rec in 0..ng {
-            let votes: Vec<Vote> = task
-                .responses
-                .iter()
-                .map(|r| Vote { worker: r.worker.0, label: r.labels[rec] })
-                .collect();
+            votes.clear();
+            votes.extend(
+                task.responses.iter().map(|r| Vote { worker: r.worker.0, label: r.labels[rec] }),
+            );
             finals.push(majority_vote(&votes).expect("complete task has responses"));
         }
-        let first = task.responses[0].clone();
+        self.votes_scratch = votes;
+        let task = &self.tasks[tid.0 as usize];
+        // The winner's scalars are all the record needs — don't clone the
+        // whole first response (its labels vector in particular).
+        let first = &task.responses[0];
+        let (winner, winner_span, winner_age) = (first.worker, first.latency, first.worker_age);
         let batch = task.batch;
         let created = task.created;
-        let leftovers: Vec<AssignmentId> = task.active.clone();
 
         // Quality signal for maintenance (§4.2 Extensions): with a vote
         // quorum, each response's agreement with the consensus is
-        // per-worker quality evidence.
+        // per-worker quality evidence. The task table and the maintainer
+        // are disjoint fields, so this streams without a staging vector.
         if task.responses.len() >= 2 {
-            let agreements: Vec<(WorkerId, u64, u64)> = task
-                .responses
-                .iter()
-                .map(|r| {
-                    let matched =
-                        r.labels.iter().zip(&finals).filter(|(a, b)| a == b).count() as u64;
-                    (r.worker, matched, finals.len() as u64)
-                })
-                .collect();
-            for (w, matched, total) in agreements {
-                self.maintainer.stats_mut(w).record_quality(matched, total);
+            let maintainer = &mut self.maintainer;
+            for r in &task.responses {
+                let matched = r.labels.iter().zip(&finals).filter(|(a, b)| a == b).count() as u64;
+                maintainer.stats_mut(r.worker).record_quality(matched, finals.len() as u64);
             }
         }
 
         let task = &mut self.tasks[tid.0 as usize];
         task.completed_at = Some(now);
         task.final_labels = Some(finals);
-        task.active.clear();
+        // Detach the leftover replicas by moving the vector out (no
+        // clone); hand its capacity back once they're terminated.
+        let mut leftovers = std::mem::take(&mut task.active);
 
-        for aid in leftovers {
+        for &aid in &leftovers {
             self.terminate_assignment(aid, finisher);
         }
+        leftovers.clear();
+        self.tasks[tid.0 as usize].active = leftovers;
 
         self.task_records.push(TaskRecord {
             task: tid.0,
@@ -422,9 +460,9 @@ impl Runner {
             ng: self.tasks[tid.0 as usize].spec.ng(),
             created,
             completed: now,
-            winner: first.worker,
-            winner_span: first.latency,
-            winner_age: first.worker_age,
+            winner,
+            winner_span,
+            winner_age,
         });
     }
 
@@ -535,24 +573,24 @@ impl Runner {
             }
         }
 
-        // 2. Mitigation: duplicate an active task.
+        // 2. Mitigation: duplicate an active task. The eligible set is
+        //    rebuilt in a reused scratch vector — this runs on every
+        //    dispatch once a batch's tail is all stragglers.
         if pick.is_none() {
             if let Some(sm) = self.cfg.straggler {
-                let eligible: Vec<TaskId> = self
-                    .batch_tasks
-                    .iter()
-                    .copied()
-                    .filter(|&tid| {
-                        let task = &self.tasks[tid.0 as usize];
-                        if task.completed_at.is_some() || task.active.is_empty() {
-                            return false;
-                        }
-                        let remaining = self.cfg.quorum.saturating_sub(task.responses.len() as u32);
-                        task.active.len() < self.concurrency_cap(remaining)
-                            && !task.has_worker(w, &self.assignments)
-                    })
-                    .collect();
+                let mut eligible = std::mem::take(&mut self.eligible_scratch);
+                eligible.clear();
+                eligible.extend(self.batch_tasks.iter().copied().filter(|&tid| {
+                    let task = &self.tasks[tid.0 as usize];
+                    if task.completed_at.is_some() || task.active.is_empty() {
+                        return false;
+                    }
+                    let remaining = self.cfg.quorum.saturating_sub(task.responses.len() as u32);
+                    task.active.len() < self.concurrency_cap(remaining)
+                        && !task.has_worker(w, &self.assignments)
+                }));
                 pick = route(sm.routing, &eligible, &self.tasks, &self.assignments, &mut self.rng);
+                self.eligible_scratch = eligible;
             }
         }
 
@@ -689,6 +727,7 @@ pub fn run_batched(
 ) -> RunReport {
     assert!(batch_size > 0, "batch_size must be positive");
     let mut runner = Runner::new(cfg, population);
+    runner.reserve_tasks(specs.len());
     runner.warm_up();
     let mut iter = specs.into_iter().peekable();
     while iter.peek().is_some() {

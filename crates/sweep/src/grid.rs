@@ -2,7 +2,8 @@
 
 use crate::aggregate::Aggregator;
 use crate::job::Job;
-use crate::pool::{execute, execute_streaming, ExecStatus};
+use crate::persistent;
+use crate::pool::ExecStatus;
 use crate::progress::{CancelToken, ProgressFn};
 use crate::threads;
 use clamshell_core::metrics::RunReport;
@@ -201,12 +202,29 @@ impl Grid {
     /// `threads = None` resolves via [`threads::resolve`]
     /// (`CLAMSHELL_THREADS`, else available parallelism). Skipped cells
     /// (after cancellation) are `None`.
+    ///
+    /// Grid sweeps execute on the process-wide persistent
+    /// [`WorkerPool`](crate::persistent::WorkerPool) — threads spawned by
+    /// the first sweep are parked and reused by every later one — and
+    /// the merge still happens in job-index order, so reports are
+    /// byte-identical to a scoped (or serial) run at any thread count.
     pub fn run(
         &self,
         threads: Option<usize>,
         cancel: &CancelToken,
     ) -> (Vec<Option<RunReport>>, ExecStatus) {
-        execute(self.jobs(), threads::resolve(threads), cancel, |_, _, job: Job| job.run())
+        let mut out: Vec<Option<RunReport>> = Vec::with_capacity(self.n_jobs());
+        out.resize_with(self.n_jobs(), || None);
+        let status = persistent::execute_streaming_pooled(
+            persistent::WorkerPool::global(),
+            self.jobs(),
+            threads::resolve(threads),
+            cancel,
+            None,
+            |_, _, job: Job| job.run(),
+            &mut |i, r| out[i] = Some(r),
+        );
+        (out, status)
     }
 
     /// Run the whole grid with no cancellation and unwrap the reports
@@ -249,7 +267,8 @@ impl Grid {
         progress: Option<ProgressFn<'_>>,
         agg: &mut dyn Aggregator,
     ) -> ExecStatus {
-        execute_streaming(
+        persistent::execute_streaming_pooled(
+            persistent::WorkerPool::global(),
             self.jobs(),
             threads::resolve(threads),
             cancel,
@@ -357,6 +376,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn reused_pool_is_byte_identical_across_sweeps() {
+        // Grid sweeps run on the process-wide persistent pool; two
+        // consecutive sweeps reuse the same parked threads and must
+        // produce byte-identical reports — which must in turn match the
+        // scoped (spawn-per-sweep) executor on the same job list.
+        let grid = small_grid();
+        let bytes = |rs: &[RunReport]| {
+            rs.iter().map(|r| serde_json::to_string(r).unwrap()).collect::<Vec<_>>()
+        };
+        let first = grid.run_all(Some(4));
+        let second = grid.run_all(Some(4));
+        assert_eq!(bytes(&first), bytes(&second));
+        let scoped = crate::pool::map(grid.jobs(), 4, |_, _, job: Job| job.run());
+        assert_eq!(bytes(&first), bytes(&scoped));
     }
 
     #[test]

@@ -27,10 +27,26 @@
 //! * [`aggregate`] — streaming per-cell statistics on
 //!   [`OnlineStats`](clamshell_sim::stats::OnlineStats), so million-cell
 //!   sweeps never buffer every [`RunReport`](clamshell_core::metrics::RunReport).
+//! * [`persistent`] — the process-wide [`WorkerPool`]: long-lived
+//!   threads parked between sweeps, reused by every [`Grid`] run so
+//!   repeated sweeps stop paying thread spawn.
 //! * [`progress`] — cancellation tokens and completion callbacks.
-//! * [`threads`] — thread-count resolution: explicit value, else the
-//!   `CLAMSHELL_THREADS` environment variable, else available
-//!   parallelism.
+//! * [`threads`] — thread-count resolution (see below).
+//!
+//! ## Thread-count resolution
+//!
+//! Every entry point takes `threads: Option<usize>` and resolves it
+//! through [`threads::resolve`], in priority order:
+//!
+//! 1. the explicit argument (the `repro` binary's `--threads N` flag
+//!    passes through here) — ignored if zero;
+//! 2. the `CLAMSHELL_THREADS` environment variable — ignored if unset,
+//!    unparsable, or zero;
+//! 3. [`std::thread::available_parallelism`], floored at 1.
+//!
+//! The choice only affects wall-clock time, never output: results merge
+//! in job-index order at any thread count (CI runs the whole workspace
+//! suite under `CLAMSHELL_THREADS=1` and `=4` to enforce that).
 //!
 //! ## Quick start
 //!
@@ -67,6 +83,7 @@
 pub mod aggregate;
 pub mod grid;
 pub mod job;
+pub mod persistent;
 pub mod pool;
 pub mod progress;
 pub mod queue;
@@ -74,6 +91,7 @@ pub mod threads;
 
 pub use aggregate::{Aggregator, Metric, MetricsAggregator};
 pub use grid::{Grid, JobMeta, Scenario};
+pub use persistent::{execute_streaming_pooled, WorkerPool};
 pub use pool::{execute, execute_streaming, ExecStatus};
 pub use progress::{CancelToken, ProgressFn};
 pub use queue::StealQueues;

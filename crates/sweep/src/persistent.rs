@@ -1,0 +1,422 @@
+//! A persistent worker pool reused across sweeps.
+//!
+//! The scoped executor in [`crate::pool`] spawns fresh OS threads for
+//! every sweep, which costs tens of microseconds per thread — noise for
+//! a multi-second grid, but a measurable fixed tax when experiments fire
+//! many small sweeps back to back (every `repro` experiment is a handful
+//! of sub-second grids). [`WorkerPool`] keeps a set of long-lived
+//! threads parked on a condition variable and hands them work per sweep,
+//! so repeated [`Grid`](crate::Grid) runs amortize thread spawn to zero.
+//!
+//! ## Determinism
+//!
+//! The persistent path reuses the exact scheduling machinery of the
+//! scoped path — the same [`StealQueues`] dealing, the same bounded
+//! result funnel, and the same reorder buffer releasing the contiguous
+//! job-index prefix — so its output is byte-identical to the scoped
+//! executor at any thread count, and across consecutive sweeps on the
+//! same pool (`reused_pool_is_byte_identical` below is the regression
+//! test).
+//!
+//! ## When the scoped path still runs
+//!
+//! Persistent threads outlive any one call, so jobs routed here must be
+//! `'static`; the generic borrowed-closure entry points
+//! ([`crate::pool::execute_streaming`] and friends) keep using scoped
+//! threads. [`execute_streaming_pooled`] also falls back to the scoped
+//! executor when invoked *from inside* a pool worker (a nested sweep
+//! would otherwise wait on pool threads that its own parent call
+//! occupies — thread-starvation deadlock).
+
+use crate::pool::{drain_reorder, ExecStatus};
+use crate::progress::{CancelToken, ProgressFn};
+use crate::queue::StealQueues;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of pool work: drain one sweep's steal queues.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between the pool handle and its worker threads.
+#[derive(Default)]
+struct Shared {
+    /// Pending tasks, oldest first.
+    injector: Mutex<VecDeque<Task>>,
+    /// Signaled when a task is queued (or shutdown is requested).
+    available: Condvar,
+    /// Set by [`WorkerPool`]'s `Drop`; workers exit instead of parking.
+    shutdown: std::sync::atomic::AtomicBool,
+}
+
+thread_local! {
+    /// True while the current thread is a pool worker executing a task —
+    /// the nested-sweep fallback check.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A persistent, growable set of worker threads for sweep execution.
+///
+/// Threads are spawned on demand (never torn down until the pool is
+/// dropped) and park on a condition variable between sweeps. The
+/// process-wide instance behind [`WorkerPool::global`] is what
+/// [`Grid`](crate::Grid) runs on; creating private pools is mainly
+/// useful in tests.
+///
+/// ```
+/// use clamshell_sweep::{execute_streaming_pooled, CancelToken, WorkerPool};
+///
+/// let pool = WorkerPool::new();
+/// let mut doubled = Vec::new();
+/// execute_streaming_pooled(
+///     &pool,
+///     vec![1u64, 2, 3],
+///     2,
+///     &CancelToken::new(),
+///     None,
+///     |_worker, _index, x| x * 2,
+///     &mut |_index, r| doubled.push(r),
+/// );
+/// assert_eq!(doubled, vec![2, 4, 6]); // index order, not completion order
+/// assert_eq!(pool.threads(), 2); // parked, ready for the next sweep
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Worker join handles; also the current thread count.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("threads", &self.threads()).finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool with no threads yet; workers are added by
+    /// [`WorkerPool::ensure_threads`] as sweeps request parallelism.
+    pub fn new() -> Self {
+        WorkerPool { shared: Arc::new(Shared::default()), handles: Mutex::new(Vec::new()) }
+    }
+
+    /// The process-wide pool shared by every [`Grid`](crate::Grid) sweep.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(WorkerPool::new)
+    }
+
+    /// Current number of live worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.lock().unwrap().len()
+    }
+
+    /// Grow the pool (if needed) so at least `n` workers exist. Pools
+    /// never shrink: a high-water sweep leaves its threads parked for the
+    /// next one, which is the entire point.
+    pub fn ensure_threads(&self, n: usize) {
+        let mut handles = self.handles.lock().unwrap();
+        while handles.len() < n {
+            let shared = self.shared.clone();
+            let name = format!("clamshell-sweep-{}", handles.len());
+            handles.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn sweep worker"),
+            );
+        }
+    }
+
+    /// Queue one task for any parked worker.
+    fn submit(&self, task: Task) {
+        self.shared.injector.lock().unwrap().push_back(task);
+        self.shared.available.notify_one();
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Shut the workers down and join them, so a dropped (non-global)
+    /// pool releases its OS threads instead of leaking them parked on
+    /// the condvar. Tasks still queued at drop time are discarded —
+    /// every executor call drains its own results before returning, so
+    /// nothing observable is in flight when a pool can be dropped.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, std::sync::atomic::Ordering::Release);
+        self.shared.available.notify_all();
+        for handle in self.handles.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Body of a persistent worker thread: pull tasks until the pool shuts
+/// down (its `Drop`). A panicking task is contained so one bad job can't
+/// kill a pool thread and starve every later sweep — the coordinator
+/// detects the missing result and re-raises (see
+/// [`execute_streaming_pooled`]).
+fn worker_loop(shared: &Shared) {
+    use std::sync::atomic::Ordering;
+    loop {
+        let task = {
+            let mut injector = shared.injector.lock().unwrap();
+            loop {
+                if let Some(task) = injector.pop_front() {
+                    break task;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                injector = shared.available.wait(injector).unwrap();
+            }
+        };
+        IN_POOL_WORKER.with(|flag| flag.set(true));
+        // Contain panics: unwinding drops the task's result sender, so
+        // the coordinator observes the missing index instead of hanging,
+        // and this thread stays alive for subsequent sweeps.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+        IN_POOL_WORKER.with(|flag| flag.set(false));
+        if let Err(payload) = outcome {
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            eprintln!("clamshell-sweep: pool worker contained a job panic: {what}");
+        }
+    }
+}
+
+/// [`crate::pool::execute_streaming`], but on the persistent pool.
+///
+/// Semantics are identical to the scoped executor — `f(worker, index,
+/// item)` over a work-stealing deal, results delivered to `sink` in
+/// strictly increasing index order, `progress` on the coordinating
+/// thread — with one addition: the pool is grown to `threads` workers
+/// once and the threads are *reused* by every subsequent call instead of
+/// being respawned. Jobs must therefore be `'static` (they outlive the
+/// caller's stack from the pool's perspective); `sink` and `progress`
+/// still run on the calling thread and may borrow freely.
+///
+/// When called from inside a pool worker (a job that itself sweeps),
+/// execution transparently falls back to the scoped executor so a
+/// nested sweep can never deadlock waiting for the threads its parent
+/// occupies.
+pub fn execute_streaming_pooled<T, R, F>(
+    pool: &WorkerPool,
+    items: Vec<T>,
+    threads: usize,
+    cancel: &CancelToken,
+    progress: Option<ProgressFn<'_>>,
+    f: F,
+    sink: &mut dyn FnMut(usize, R),
+) -> ExecStatus
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(usize, usize, T) -> R + Send + Sync + 'static,
+{
+    if IN_POOL_WORKER.with(|flag| flag.get()) {
+        return crate::pool::execute_streaming(items, threads, cancel, progress, f, sink);
+    }
+    let total = items.len();
+    let workers = threads.max(1).min(total.max(1));
+    pool.ensure_threads(workers);
+
+    let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queues = Arc::new(StealQueues::deal(indexed, workers));
+    // Same bounded funnel as the scoped path: workers block once
+    // `workers` results sit unread, so cancellation stops the fleet
+    // within ~2 jobs per worker.
+    let (tx, rx) = mpsc::sync_channel::<(usize, R)>(workers);
+    let f = Arc::new(f);
+
+    for worker in 0..workers {
+        let queues = queues.clone();
+        let f = f.clone();
+        let tx = tx.clone();
+        let cancel = cancel.clone();
+        pool.submit(Box::new(move || {
+            while !cancel.is_cancelled() {
+                let Some(((index, item), _stolen)) = queues.pop(worker) else { break };
+                // A send only fails if the receiver hung up, which the
+                // coordinator never does before the channel drains.
+                let _ = tx.send((index, f(worker, index, item)));
+            }
+        }));
+    }
+    // The submitted tasks hold the only remaining senders: `recv` errors
+    // out exactly when the last drain task exits.
+    drop(tx);
+
+    let delivered = drain_reorder(rx, progress, total, sink);
+    // A shortfall without cancellation means a job panicked inside a
+    // pool worker (contained there so the pool survives); re-raise on
+    // the caller's thread, matching the scoped executor's behavior.
+    if delivered < total && !cancel.is_cancelled() {
+        panic!(
+            "sweep job panicked on the persistent pool: {} of {total} results delivered",
+            delivered
+        );
+    }
+    ExecStatus { completed: delivered, total, cancelled: cancel.is_cancelled() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn run_on(pool: &WorkerPool, n: usize, threads: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let status = execute_streaming_pooled(
+            pool,
+            (0..n).collect(),
+            threads,
+            &CancelToken::new(),
+            None,
+            |_, _, j: usize| j * 7,
+            &mut |i, r| {
+                assert_eq!(i * 7, r);
+                out.push(r)
+            },
+        );
+        assert!(status.is_complete());
+        out
+    }
+
+    #[test]
+    fn pool_grows_once_and_is_reused() {
+        let pool = WorkerPool::new();
+        assert_eq!(pool.threads(), 0);
+        let a = run_on(&pool, 16, 3);
+        assert_eq!(pool.threads(), 3);
+        let b = run_on(&pool, 16, 3);
+        // Thread count unchanged: the second sweep reused the workers.
+        assert_eq!(pool.threads(), 3);
+        assert_eq!(a, b);
+        // A wider sweep grows the pool; a narrower one never shrinks it.
+        run_on(&pool, 8, 5);
+        assert_eq!(pool.threads(), 5);
+        run_on(&pool, 8, 1);
+        assert_eq!(pool.threads(), 5);
+    }
+
+    #[test]
+    fn pooled_results_arrive_in_index_order() {
+        let pool = WorkerPool::new();
+        let mut seen = Vec::new();
+        let items: Vec<u64> = (0..12).map(|i| (12 - i) * 3).collect();
+        let status = execute_streaming_pooled(
+            &pool,
+            items,
+            4,
+            &CancelToken::new(),
+            None,
+            |_, idx, ms: u64| {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                idx * 10
+            },
+            &mut |i, r| seen.push((i, r)),
+        );
+        assert!(status.is_complete());
+        assert_eq!(seen, (0..12).map(|i| (i, i * 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pooled_cancellation_skips_pending_jobs() {
+        let pool = WorkerPool::new();
+        let cancel = CancelToken::new();
+        let cancel_ref = cancel.clone();
+        let mut sink_count = 0usize;
+        // 'static job closure: count starts through an Arc'd atomic.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let counter_job = counter.clone();
+        let status = execute_streaming_pooled(
+            &pool,
+            (0..32).collect::<Vec<usize>>(),
+            1,
+            &cancel,
+            Some(&mut |done, _| {
+                if done == 2 {
+                    cancel_ref.cancel();
+                }
+            }),
+            move |_, _, j: usize| {
+                counter_job.fetch_add(1, Ordering::Relaxed);
+                j
+            },
+            &mut |_, _| sink_count += 1,
+        );
+        assert!(status.cancelled);
+        assert!(!status.is_complete());
+        assert!(status.completed <= 8, "completed {}", status.completed);
+        assert_eq!(status.completed, sink_count);
+        assert_eq!(counter.load(Ordering::Relaxed), status.completed);
+    }
+
+    #[test]
+    fn job_panic_is_reraised_and_pool_survives() {
+        let pool = WorkerPool::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_streaming_pooled(
+                &pool,
+                vec![1usize, 2, 3, 4],
+                2,
+                &CancelToken::new(),
+                None,
+                |_, _, j: usize| {
+                    if j == 2 {
+                        panic!("job blew up");
+                    }
+                    j
+                },
+                &mut |_, _: usize| {},
+            )
+        }));
+        assert!(caught.is_err(), "a panicking job must re-raise on the caller");
+        // The workers contained the panic: the same pool still runs
+        // complete sweeps afterwards.
+        assert_eq!(run_on(&pool, 8, 2), (0..8).map(|j| j * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_call_from_worker_falls_back_to_scoped() {
+        // A job that itself runs a pooled sweep on the same pool: without
+        // the scoped fallback this deadlocks (the only pool thread is
+        // busy hosting the outer job while the inner one waits for it).
+        let pool = Arc::new(WorkerPool::new());
+        let inner_pool = pool.clone();
+        let mut outer = Vec::new();
+        let status = execute_streaming_pooled(
+            &pool,
+            vec![10usize, 20],
+            1,
+            &CancelToken::new(),
+            None,
+            move |_, _, base: usize| {
+                let mut inner = 0usize;
+                let st = execute_streaming_pooled(
+                    &inner_pool,
+                    (0..4).collect::<Vec<usize>>(),
+                    2,
+                    &CancelToken::new(),
+                    None,
+                    |_, _, j: usize| j,
+                    &mut |_, r| inner += r,
+                );
+                assert!(st.is_complete());
+                base + inner
+            },
+            &mut |_, r| outer.push(r),
+        );
+        assert!(status.is_complete());
+        assert_eq!(outer, vec![16, 26]);
+    }
+}

@@ -57,7 +57,7 @@ pub fn execute_streaming<T, R, F>(
     items: Vec<T>,
     threads: usize,
     cancel: &CancelToken,
-    mut progress: Option<ProgressFn<'_>>,
+    progress: Option<ProgressFn<'_>>,
     f: F,
     sink: &mut dyn FnMut(usize, R),
 ) -> ExecStatus
@@ -99,36 +99,52 @@ where
         // exactly when all of them have exited.
         drop(tx);
 
-        // Reorder buffer: park out-of-order arrivals, release the
-        // contiguous prefix. The coordinator must keep receiving while
-        // it waits for `next` (the missing result arrives over the same
-        // channel), so this map — unlike the channel — is unbounded;
-        // see the note at the funnel above.
-        let mut parked: BTreeMap<usize, R> = BTreeMap::new();
-        let mut next = 0usize;
-        while let Ok((index, result)) = rx.recv() {
-            parked.insert(index, result);
-            while let Some(result) = parked.remove(&next) {
-                sink(next, result);
-                next += 1;
-                delivered += 1;
-                if let Some(p) = progress.as_mut() {
-                    p(delivered, total);
-                }
-            }
-        }
-        // Cancellation can leave holes; flush what completed beyond them,
-        // still in increasing index order.
-        for (index, result) in parked {
-            sink(index, result);
+        delivered = drain_reorder(rx, progress, total, sink);
+    });
+
+    ExecStatus { completed: delivered, total, cancelled: cancel.is_cancelled() }
+}
+
+/// The coordinator's receive loop, shared by the scoped executor above
+/// and the persistent-pool executor in [`crate::persistent`]: drain the
+/// result funnel through a reorder buffer so `sink` observes strictly
+/// increasing job indices, and return how many results were delivered.
+///
+/// The reorder buffer parks out-of-order arrivals and releases the
+/// contiguous prefix. The coordinator must keep receiving while it waits
+/// for `next` (the missing result arrives over the same channel), so
+/// this map — unlike the bounded funnel feeding it — is unbounded; its
+/// size is bounded by job-duration skew, not sweep size.
+pub(crate) fn drain_reorder<R>(
+    rx: mpsc::Receiver<(usize, R)>,
+    mut progress: Option<ProgressFn<'_>>,
+    total: usize,
+    sink: &mut dyn FnMut(usize, R),
+) -> usize {
+    let mut delivered = 0usize;
+    let mut parked: BTreeMap<usize, R> = BTreeMap::new();
+    let mut next = 0usize;
+    while let Ok((index, result)) = rx.recv() {
+        parked.insert(index, result);
+        while let Some(result) = parked.remove(&next) {
+            sink(next, result);
+            next += 1;
             delivered += 1;
             if let Some(p) = progress.as_mut() {
                 p(delivered, total);
             }
         }
-    });
-
-    ExecStatus { completed: delivered, total, cancelled: cancel.is_cancelled() }
+    }
+    // Cancellation can leave holes; flush what completed beyond them,
+    // still in increasing index order.
+    for (index, result) in parked {
+        sink(index, result);
+        delivered += 1;
+        if let Some(p) = progress.as_mut() {
+            p(delivered, total);
+        }
+    }
+    delivered
 }
 
 /// Run `f` over `items` and collect results in index order.

@@ -11,6 +11,14 @@ pub const THREADS_ENV: &str = "CLAMSHELL_THREADS";
 /// through to the next source. Because the engine merges results in
 /// job-index order, the choice only affects wall-clock time, never
 /// output.
+///
+/// ```
+/// use clamshell_sweep::threads::resolve;
+///
+/// assert_eq!(resolve(Some(3)), 3);
+/// assert!(resolve(None) >= 1); // env var or available parallelism
+/// assert!(resolve(Some(0)) >= 1); // zero falls through
+/// ```
 pub fn resolve(explicit: Option<usize>) -> usize {
     explicit
         .filter(|&n| n > 0)

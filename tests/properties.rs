@@ -144,6 +144,52 @@ proptest! {
         }
     }
 
+    /// The two-list event queue pops in exactly the same order as a
+    /// reference `BinaryHeap` model (min by `(time, seq)` — i.e. earliest
+    /// time, FIFO within a timestamp) under random interleaved
+    /// schedule/pop sequences.
+    #[test]
+    fn event_queue_matches_binary_heap_model(
+        ops in proptest::collection::vec((0u64..64, 0u32..4), 4..300),
+    ) {
+        use clamshell::sim::{EventQueue, SimTime};
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut queue: EventQueue<u64> = EventQueue::new();
+        // Model: Reverse<(time, seq, payload)> — tuple order is exactly
+        // the documented contract, and payload never breaks ties because
+        // (time, seq) is unique.
+        let mut model: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        let mut drained = 0usize;
+        for (seq, &(delta, pops)) in ops.iter().enumerate() {
+            let seq = seq as u64;
+            let at = queue.now().as_millis() + delta;
+            queue.schedule(SimTime::from_millis(at), seq);
+            model.push(Reverse((at, seq, seq)));
+            for _ in 0..pops {
+                let got = queue.pop();
+                let want = model.pop().map(|Reverse((t, _, p))| (SimTime::from_millis(t), p));
+                prop_assert_eq!(got, want);
+                if got.is_none() {
+                    break;
+                }
+                drained += 1;
+            }
+        }
+        // Drain the rest; the full order must agree.
+        loop {
+            let got = queue.pop();
+            let want = model.pop().map(|Reverse((t, _, p))| (SimTime::from_millis(t), p));
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+            drained += 1;
+        }
+        prop_assert_eq!(drained, ops.len());
+    }
+
     /// Dataset generation always produces valid, balanced-ish datasets.
     #[test]
     fn generated_datasets_valid(

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// Strategy for `Vec<T>` with length drawn from `size` (see [`vec`]).
+/// Strategy for `Vec<T>` with length drawn from `size` (see [`vec()`](fn@vec)).
 pub struct VecStrategy<S> {
     element: S,
     size: Range<usize>,
