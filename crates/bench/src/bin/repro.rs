@@ -7,6 +7,7 @@
 //! repro --all --quick          # smaller workloads, single seed
 //! repro fig9 --seeds 5         # average over 5 seeds
 //! repro --all --threads 4      # sweep-engine worker threads
+//! repro --scenario churn       # one adversity scenario vs benign
 //! repro --help                 # usage (also -h)
 //! ```
 //!
@@ -21,17 +22,21 @@ use clamshell_bench::{registry, util::Opts};
 
 /// Usage text shared by `--help` and the no-argument listing.
 const USAGE: &str = "\
-usage: repro [--all] [--quick] [--seeds N] [--threads N] [--list] [name...]
+usage: repro [--all] [--quick] [--seeds N] [--threads N] [--scenario NAME]
+             [--list] [name...]
 
-  --all        run every experiment
-  --quick      smaller workloads and a single seed (scale 0.25)
-  --seeds N    average over seeds 1..=N; always wins over --quick's
-               single-seed default, in either flag order
-  --threads N  sweep-engine worker threads (else CLAMSHELL_THREADS,
-               else available parallelism); never changes stdout —
-               results merge in job-index order at any thread count
-  --list       list experiments and exit
-  --help, -h   this message";
+  --all            run every experiment
+  --quick          smaller workloads and a single seed (scale 0.25)
+  --seeds N        average over seeds 1..=N; always wins over --quick's
+                   single-seed default, in either flag order
+  --threads N      sweep-engine worker threads (else CLAMSHELL_THREADS,
+                   else available parallelism); never changes stdout —
+                   results merge in job-index order at any thread count
+  --scenario NAME  run one adversity scenario against the benign
+                   baseline (see the scenario catalog in README);
+                   repeatable; `--scenario list` lists names
+  --list           list experiments and exit
+  --help, -h       this message";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +45,7 @@ fn main() {
     let mut quick = false;
     let mut seeds: Option<u64> = None;
     let mut threads: Option<usize> = None;
+    let mut scenarios: Vec<String> = Vec::new();
     let mut picked: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -63,6 +69,11 @@ fn main() {
                 let n: usize =
                     args.get(i).and_then(|s| s.parse().ok()).expect("--threads takes a count");
                 threads = Some(n);
+            }
+            "--scenario" => {
+                i += 1;
+                let name = args.get(i).expect("--scenario takes a name").clone();
+                scenarios.push(name);
             }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
@@ -89,6 +100,33 @@ fn main() {
     // so no process-global state is needed.
     opts.threads = threads;
 
+    // Stderr line in the banner keeps stdout byte-identical across
+    // thread counts.
+    let banner = |opts: &Opts| {
+        println!("CLAMShell reproduction harness — seeds={:?} scale={}", opts.seeds, opts.scale);
+        eprintln!("sweep engine: {} worker thread(s)", opts.thread_count());
+    };
+
+    // Scenario mode: run the named adversity scenario(s) against the
+    // benign baseline and exit. `--scenario list` prints the catalog.
+    if !scenarios.is_empty() {
+        if scenarios.iter().any(|s| s == "list") {
+            println!("adversity scenarios:");
+            for s in clamshell_bench::scenario_catalog() {
+                println!("  {:<14} {}", s.name, s.summary);
+            }
+            return;
+        }
+        banner(&opts);
+        for name in &scenarios {
+            if !clamshell_bench::experiments::adversity::single_scenario(&opts, name) {
+                eprintln!("unknown scenario: {name}; try --scenario list");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
     let all = registry();
     if list || (!run_all && picked.is_empty()) {
         println!("experiments ({} total):", all.len());
@@ -99,9 +137,7 @@ fn main() {
         return;
     }
 
-    println!("CLAMShell reproduction harness — seeds={:?} scale={}", opts.seeds, opts.scale);
-    // Stderr, so stdout stays byte-identical across thread counts.
-    eprintln!("sweep engine: {} worker thread(s)", opts.thread_count());
+    banner(&opts);
     let mut ran = 0;
     for (name, _, f) in &all {
         if run_all || picked.iter().any(|p| p == name) {

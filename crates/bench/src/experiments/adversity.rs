@@ -1,0 +1,121 @@
+//! Adversity: accuracy/latency/cost deltas vs the benign baseline for
+//! every named scenario in the `clamshell-scenarios` catalog.
+//!
+//! This is the experiment the paper never ran: the same CLAMShell
+//! configuration (SM on, PM8 on) driven through spammer/adversarial
+//! populations, mid-assignment churn, platform blackouts, bursty
+//! arrivals, and heavy-tailed inflation. Run all scenarios via
+//! `repro adversity`, or a single one via `repro --scenario <name>`.
+
+use crate::util::{f2, header, mean_of, ratio, row, Opts};
+use clamshell_core::metrics::RunReport;
+use clamshell_core::RunConfig;
+use clamshell_scenarios::{catalog, find, ScenarioDef};
+use clamshell_sweep::Grid;
+use clamshell_trace::Population;
+
+fn base_config(seed: u64) -> RunConfig {
+    RunConfig { pool_size: 8, ng: 5, seed, ..Default::default() }
+        .with_straggler()
+        .with_maintenance()
+}
+
+fn run_defs(opts: &Opts, defs: &[&ScenarioDef]) -> Vec<Vec<RunReport>> {
+    let n_tasks = opts.n(48);
+    let mut grid = Grid::new(
+        base_config(opts.seeds[0]),
+        Population::mturk_live(),
+        crate::util::binary_specs(n_tasks, 5),
+        8,
+    )
+    .seeds(&opts.seeds);
+    for def in defs {
+        let def = **def;
+        grid = grid.scenario(def.name, move |cfg| def.apply(cfg));
+    }
+    let flat = grid.try_run_all(opts.threads).expect("catalog scenario labels are unique");
+    // Enumeration is scenario-major, seed-minor: rows are seed chunks.
+    flat.chunks(opts.seeds.len()).map(<[RunReport]>::to_vec).collect()
+}
+
+fn print_table(defs: &[&ScenarioDef], grouped: &[Vec<RunReport>]) {
+    row(&[
+        "scenario".into(),
+        "accuracy".into(),
+        "d.acc".into(),
+        "latency_s".into(),
+        "d.lat".into(),
+        "cost_usd".into(),
+        "departed".into(),
+    ]);
+    let benign_idx = defs.iter().position(|d| d.name == "benign").unwrap_or(0);
+    let benign_acc = mean_of(&grouped[benign_idx], |r| r.accuracy());
+    let benign_lat = mean_of(&grouped[benign_idx], |r| r.total_secs());
+    for (def, reports) in defs.iter().zip(grouped) {
+        let acc = mean_of(reports, |r| r.accuracy());
+        let lat = mean_of(reports, |r| r.total_secs());
+        let cost = mean_of(reports, |r| r.cost.total_micro() as f64 / 1e6);
+        let departed = mean_of(reports, |r| r.workers_departed as f64);
+        row(&[
+            def.name.into(),
+            f2(acc),
+            format!("{:+.2}", acc - benign_acc),
+            f2(lat),
+            ratio(lat, benign_lat),
+            f2(cost),
+            f2(departed),
+        ]);
+    }
+}
+
+/// The full catalog sweep (`repro adversity`).
+pub fn adversity(opts: &Opts) {
+    header(
+        "adversity",
+        "Scenario library: accuracy/latency deltas vs the benign baseline",
+        "not in the paper; motivated by Krishna et al. (rapid-worker error) and \
+         Muhammadi et al. (spammer/adversarial crowds)",
+    );
+    let defs: Vec<&ScenarioDef> = catalog().iter().collect();
+    let grouped = run_defs(opts, &defs);
+    print_table(&defs, &grouped);
+    println!(
+        "  expectation: adversarial/spammers cut accuracy; blackout/heavy-tail/sleepy \
+         stretch latency; churn departs workers; benign deltas are zero by definition"
+    );
+}
+
+/// One scenario (plus the benign baseline) — `repro --scenario <name>`.
+/// Returns `false` if the name is unknown.
+pub fn single_scenario(opts: &Opts, name: &str) -> bool {
+    let Some(def) = find(name) else {
+        return false;
+    };
+    header(&format!("scenario:{name}"), def.summary, def.motivation);
+    let defs: Vec<&ScenarioDef> = if name == "benign" {
+        vec![def]
+    } else {
+        vec![find("benign").expect("catalog always has benign"), def]
+    };
+    let grouped = run_defs(opts, &defs);
+    print_table(&defs, &grouped);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_scenario_rejects_unknown_names() {
+        let opts = Opts { seeds: vec![1], scale: 0.05, ..Default::default() };
+        assert!(!single_scenario(&opts, "definitely-not-a-scenario"));
+        assert!(single_scenario(&opts, "churn"));
+    }
+
+    #[test]
+    fn catalog_sweep_runs_at_tiny_scale() {
+        let opts = Opts { seeds: vec![1], scale: 0.05, ..Default::default() };
+        adversity(&opts);
+    }
+}

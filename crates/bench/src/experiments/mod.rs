@@ -1,5 +1,6 @@
 //! Experiment implementations, grouped by the paper's sections.
 
+pub mod adversity;
 pub mod combine;
 pub mod learning;
 pub mod maintenance;

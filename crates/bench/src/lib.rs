@@ -25,6 +25,12 @@ use experiments as exp;
 /// One registered experiment: `(name, description, runner)`.
 pub type Experiment = (&'static str, &'static str, fn(&util::Opts));
 
+/// The adversity scenario catalog (re-exported for the `repro` CLI's
+/// `--scenario list`).
+pub fn scenario_catalog() -> &'static [clamshell_scenarios::ScenarioDef] {
+    clamshell_scenarios::catalog()
+}
+
 /// All experiments, in paper order: `(name, description, runner)`.
 pub fn registry() -> Vec<Experiment> {
     vec![
@@ -71,5 +77,10 @@ pub fn registry() -> Vec<Experiment> {
         ("poolmodel", "Pool-convergence closed form vs simulated MPL", exp::maintenance::poolmodel),
         ("routing", "Straggler routing policies: random ~= oracle", exp::straggler::routing),
         ("qcsm", "Decoupled SM + quality control vs naive duplication", exp::straggler::qcsm),
+        (
+            "adversity",
+            "Scenario library: accuracy/latency deltas vs benign crowd",
+            exp::adversity::adversity,
+        ),
     ]
 }

@@ -111,6 +111,12 @@ pub fn run_open_market(
         let end = at + dur;
         platform.pay_records(ng as u64);
         let age = *ages.get(&w).unwrap_or(&0);
+        // Open-market quorum is 1: the single answer is final. Classes
+        // are inferred from the spec (open-market runs carry no
+        // RunConfig).
+        let n_classes = spec.truths.iter().copied().max().unwrap_or(0).max(1) + 1;
+        let labels = platform.sample_labels(w, &spec.truths, n_classes);
+        let correct = labels.iter().zip(&spec.truths).filter(|(a, b)| a == b).count() as u32;
         tasks.push(TaskRecord {
             task: next_task as u32,
             batch: 0,
@@ -120,6 +126,7 @@ pub fn run_open_market(
             winner: w,
             winner_span: dur,
             winner_age: age,
+            correct,
         });
         assignments.push(AssignmentRecord {
             task: next_task as u32,
@@ -155,6 +162,7 @@ pub fn run_open_market(
         cost: *platform.ledger(),
         workers_recruited: platform.workers_recruited(),
         workers_evicted: 0,
+        workers_departed: 0,
         started: SimTime::ZERO,
         finished,
     }

@@ -143,6 +143,11 @@ pub struct RunConfig {
     pub churn: bool,
     /// Platform mechanism parameters (pay rates, overheads).
     pub platform: PlatformConfig,
+    /// Adversity layer: deterministic fault injection (worker churn,
+    /// archetype overlays, outages, bursty arrivals, latency inflation).
+    /// `None` is the benign run — bit-identical to a run predating the
+    /// adversity machinery.
+    pub adversity: Option<crate::adversity::AdversityConfig>,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -158,6 +163,7 @@ impl Default for RunConfig {
             maintenance: None,
             churn: true,
             platform: PlatformConfig::default(),
+            adversity: None,
             seed: 0,
         }
     }
@@ -175,6 +181,15 @@ impl RunConfig {
             assert!((0.0..1.0).contains(&m.alpha), "alpha in (0,1)");
             assert!(m.termest_alpha >= 0.0, "termest alpha >= 0");
         }
+        if let Some(a) = &self.adversity {
+            a.validate();
+        }
+    }
+
+    /// Convenience: layer an adversity configuration on.
+    pub fn with_adversity(mut self, adversity: crate::adversity::AdversityConfig) -> Self {
+        self.adversity = Some(adversity);
+        self
     }
 
     /// Batch size for a given pool-to-batch ratio `R = Np / Nbatch`

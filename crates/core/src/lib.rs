@@ -17,6 +17,10 @@
 //!
 //! * [`config`] — every experimental knob from Table 3 (`PMℓ`, `SM`, `Np`,
 //!   `Ng`, `R`, `Alg`) plus quality-control quorum.
+//! * [`adversity`] — deterministic fault injection: worker churn,
+//!   spammer/adversarial/sleepy archetypes, platform outages, bursty
+//!   arrivals, heavy-tailed latency inflation (named catalog in the
+//!   `clamshell-scenarios` crate).
 //! * [`task`] — tasks, assignments and their lifecycles.
 //! * [`lifeguard`] — straggler-mitigation routing policies (§4.1).
 //! * [`maintainer`] — pool maintenance: per-worker latency accounting, the
@@ -33,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversity;
 pub mod baselines;
 pub mod batcher;
 pub mod config;
@@ -44,6 +49,7 @@ pub mod poolmodel;
 pub mod runner;
 pub mod task;
 
+pub use adversity::{AdversityConfig, BurstFault, ChurnFault, OutageFault};
 pub use batcher::{Batcher, BatcherConfig};
 pub use config::{MaintenanceConfig, MaintenanceObjective, QcMode, RunConfig, StragglerConfig};
 pub use learning::{LearningConfig, LearningOutcome, LearningRunner, Strategy};

@@ -128,6 +128,11 @@ pub struct Maintainer {
     stats: BTreeMap<WorkerId, WorkerStats>,
     /// Total workers evicted so far (for Figures 7 and 14).
     pub evictions: u64,
+    /// Workers who walked out mid-assignment (adversity churn). Tracked
+    /// here because churn and eviction compete for the same reserve:
+    /// every walkout consumes a replacement that maintenance could have
+    /// spent on a slow worker.
+    pub walkouts: u64,
 }
 
 impl Maintainer {
@@ -227,6 +232,14 @@ impl Maintainer {
     /// Record an eviction (for the replacement-rate figures).
     pub fn note_eviction(&mut self) {
         self.evictions += 1;
+    }
+
+    /// React to a mid-assignment walkout: count it and drop the departed
+    /// worker's stats — they can never return, so keeping their sample
+    /// would only skew pool-level aggregates.
+    pub fn note_walkout(&mut self, w: WorkerId) {
+        self.walkouts += 1;
+        self.stats.remove(&w);
     }
 }
 

@@ -25,6 +25,10 @@ pub struct TaskRecord {
     /// Tasks the winner had completed in the pool before starting this one
     /// (the "worker age" axis of Figure 5).
     pub winner_age: u32,
+    /// How many of the task's final (aggregated) labels match ground
+    /// truth — the numerator of run-level label accuracy, which the
+    /// adversity experiments report against the benign baseline.
+    pub correct: u32,
 }
 
 impl TaskRecord {
@@ -100,6 +104,9 @@ pub struct RunReport {
     pub workers_recruited: usize,
     /// Total workers evicted by maintenance.
     pub workers_evicted: u64,
+    /// Workers who walked out mid-assignment (adversity churn); always 0
+    /// on benign runs.
+    pub workers_departed: u64,
     /// Run start (first batch dispatch).
     pub started: SimTime,
     /// Run end (last task completion).
@@ -116,6 +123,23 @@ impl RunReport {
     /// Labels produced (tasks × Ng).
     pub fn labels_produced(&self) -> u64 {
         self.tasks.iter().map(|t| t.ng as u64).sum()
+    }
+
+    /// Final labels matching ground truth.
+    pub fn labels_correct(&self) -> u64 {
+        self.tasks.iter().map(|t| t.correct as u64).sum()
+    }
+
+    /// Fraction of final labels matching ground truth (0 when no labels
+    /// were produced). The adversity experiments report this against the
+    /// benign baseline.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.labels_produced();
+        if total == 0 {
+            0.0
+        } else {
+            self.labels_correct() as f64 / total as f64
+        }
     }
 
     /// Labels per second over the whole run (§6.6's "labeling
@@ -195,6 +219,7 @@ mod tests {
             winner: WorkerId(0),
             winner_span: SimDuration::from_secs(completed - created),
             winner_age: 0,
+            correct: ng.saturating_sub(1),
         }
     }
 
@@ -244,6 +269,7 @@ mod tests {
             cost: CostLedger::new(),
             workers_recruited: 4,
             workers_evicted: 1,
+            workers_departed: 0,
             started: t(0),
             finished: t(25),
         }
@@ -282,6 +308,16 @@ mod tests {
     fn termination_rate() {
         let r = report();
         assert!((r.termination_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_is_correct_over_produced() {
+        let r = report();
+        // Each fixture task has ng = 5 and correct = 4.
+        assert_eq!(r.labels_correct(), 12);
+        assert!((r.accuracy() - 12.0 / 15.0).abs() < 1e-12);
+        let empty = RunReport { tasks: vec![], ..r };
+        assert_eq!(empty.accuracy(), 0.0);
     }
 
     #[test]

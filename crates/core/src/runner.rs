@@ -12,6 +12,7 @@
 //! equal times fire in schedule order; all collections iterate in
 //! [`WorkerId`] order; every random draw comes from seeded streams.
 
+use crate::adversity::{streams, ChurnFault};
 use crate::config::{QcMode, RunConfig};
 use crate::lifeguard::route;
 use crate::maintainer::Maintainer;
@@ -20,6 +21,7 @@ use crate::task::{Assignment, AssignmentId, TaskId, TaskResponse, TaskSpec, Task
 use clamshell_crowd::{RetainerPool, SimPlatform, WorkerId};
 use clamshell_quality::voting::{majority_vote, Vote};
 use clamshell_sim::events::EventQueue;
+use clamshell_sim::faults::{fault_stream, OutageSchedule};
 use clamshell_sim::rng::Rng;
 use clamshell_sim::stats::OnlineStats;
 use clamshell_sim::time::{SimDuration, SimTime};
@@ -38,6 +40,9 @@ enum Event {
     /// Patience check: the worker abandons if still idle and the epoch
     /// matches (stale checks are ignored).
     Abandon(WorkerId, u32),
+    /// Adversity churn: the assignment's worker walks out mid-task,
+    /// abandoning both the assignment and their retainer slot.
+    Walkout(AssignmentId),
     /// Clock marker used by [`Runner::advance`]; no state change.
     Nop,
 }
@@ -75,6 +80,17 @@ pub struct Runner {
     last_completion: SimTime,
     evicted_this_boundary: usize,
 
+    // Adversity state (all `None`/zero on benign runs). Fault draws come
+    // exclusively from dedicated streams so enabling a fault never
+    // perturbs the platform, worker, or routing RNGs.
+    /// Mid-assignment walkout fault and its dedicated stream.
+    churn_fault: Option<(ChurnFault, Rng)>,
+    /// Platform blackout schedule; submissions and recruit arrivals that
+    /// fall inside a window are deferred to its end.
+    outage: Option<OutageSchedule>,
+    /// Workers who walked out mid-assignment.
+    workers_departed: u64,
+
     // Reused scratch buffers for the per-assignment hot path. Each is
     // cleared before use; holding them on the runner means the event loop
     // stops allocating once the high-water marks are reached.
@@ -88,7 +104,27 @@ impl Runner {
     /// the first batch.
     pub fn new(cfg: RunConfig, population: Population) -> Self {
         cfg.validate();
-        let platform = SimPlatform::new(population, cfg.platform.clone(), cfg.seed);
+        // Platform-level faults ride inside the platform; the benign path
+        // constructs the exact pre-adversity platform.
+        let crowd_faults = cfg.adversity.as_ref().map(|a| a.crowd_faults());
+        let platform = match crowd_faults {
+            Some(f) if f.is_active() => {
+                SimPlatform::with_faults(population, cfg.platform.clone(), cfg.seed, f)
+            }
+            _ => SimPlatform::new(population, cfg.platform.clone(), cfg.seed),
+        };
+        let churn_fault = cfg
+            .adversity
+            .as_ref()
+            .and_then(|a| a.churn)
+            .map(|c| (c, fault_stream(cfg.seed, streams::CHURN)));
+        let outage = cfg.adversity.as_ref().and_then(|a| a.outage).map(|o| {
+            OutageSchedule::new(
+                cfg.seed,
+                SimDuration::from_secs_f64(o.mean_uptime_secs),
+                SimDuration::from_secs_f64(o.mean_outage_secs),
+            )
+        });
         let pool = RetainerPool::new(cfg.pool_size);
         Runner {
             rng: Rng::new(cfg.seed ^ 0x9E37_79B9_7F4A_7C15),
@@ -115,6 +151,9 @@ impl Runner {
             last_completion: SimTime::ZERO,
             cfg,
             evicted_this_boundary: 0,
+            churn_fault,
+            outage,
+            workers_departed: 0,
             votes_scratch: Vec::new(),
             eligible_scratch: Vec::new(),
             kick_scratch: Vec::new(),
@@ -256,6 +295,7 @@ impl Runner {
             cost: *self.platform.ledger(),
             workers_recruited: self.platform.workers_recruited(),
             workers_evicted: self.maintainer.evictions,
+            workers_departed: self.workers_departed,
             started: self.started.unwrap_or(SimTime::ZERO),
             finished: self.last_completion,
         }
@@ -266,11 +306,26 @@ impl Runner {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, ev: Event) {
+        // Outage hook: events that model a *platform interaction* — an
+        // answer submission or a recruit admission — cannot happen while
+        // the platform is down; they re-enter the queue at the recovery
+        // instant. Purely worker-side events (walkouts, patience checks,
+        // dialog clicks) are unaffected. Deferred events carry fresh
+        // sequence numbers in pop order, so FIFO ties stay deterministic.
+        if let Some(sched) = &mut self.outage {
+            if matches!(ev, Event::AssignmentDone(_) | Event::WorkerReady) {
+                if let Some(recovery) = sched.defer(self.queue.now()) {
+                    self.queue.schedule(recovery, ev);
+                    return;
+                }
+            }
+        }
         match ev {
             Event::WorkerReady => self.on_worker_ready(),
             Event::AssignmentDone(aid) => self.on_assignment_done(aid),
             Event::WorkerFreed(w) => self.on_worker_freed(w),
             Event::Abandon(w, epoch) => self.on_abandon(w, epoch),
+            Event::Walkout(aid) => self.on_walkout(aid),
             Event::Nop => {}
         }
     }
@@ -339,6 +394,52 @@ impl Runner {
             self.platform.pay_wait(wait);
         }
         self.refill_vacancy();
+    }
+
+    /// Adversity churn: the worker walks out mid-assignment. No answer is
+    /// submitted and no work payment is due (unlike a requester-side
+    /// termination, the worker forfeits by leaving); the retainer slot
+    /// empties and re-recruitment starts immediately. The maintainer
+    /// drops the departed worker's sample and counts the walkout against
+    /// the reserve budget.
+    fn on_walkout(&mut self, aid: AssignmentId) {
+        let a = self.assignments[aid.0 as usize];
+        if !a.is_live() {
+            return; // terminated (straggler cap / completion) before walking
+        }
+        let now = self.now();
+        let w = a.worker;
+        self.assignments[aid.0 as usize].terminated = Some(now);
+        self.tasks[a.task.0 as usize].active.retain(|&x| x != aid);
+        self.assignment_records.push(AssignmentRecord {
+            task: a.task.0,
+            batch: self.tasks[a.task.0 as usize].batch,
+            worker: w,
+            start: a.start,
+            end: now,
+            terminated: true,
+        });
+        // The worker is gone for good: free the slot (no wait owed while
+        // working) and forget their pending patience bookkeeping.
+        if self.pool.contains(w) {
+            self.pool.leave(w, now);
+        }
+        self.idle.remove(&w);
+        self.patience.remove(&w);
+        self.abandon_epoch.remove(&w);
+        self.maintainer.note_walkout(w);
+        self.workers_departed += 1;
+        self.refill_vacancy();
+        // The abandoned task lost coverage: point idle workers at it
+        // (dispatch mutates `self.idle`, so snapshot into the reused
+        // scratch buffer first).
+        let mut kick = std::mem::take(&mut self.kick_scratch);
+        kick.clear();
+        kick.extend(self.idle.iter().copied());
+        for &idle_w in &kick {
+            self.dispatch_worker(idle_w);
+        }
+        self.kick_scratch = kick;
     }
 
     fn on_assignment_done(&mut self, aid: AssignmentId) {
@@ -422,6 +523,9 @@ impl Runner {
         }
         self.votes_scratch = votes;
         let task = &self.tasks[tid.0 as usize];
+        // Label accuracy against the simulator's ground truth (the
+        // adversity experiments report the delta vs the benign baseline).
+        let correct = finals.iter().zip(&task.spec.truths).filter(|(a, b)| a == b).count() as u32;
         // The winner's scalars are all the record needs — don't clone the
         // whole first response (its labels vector in particular).
         let first = &task.responses[0];
@@ -463,6 +567,7 @@ impl Runner {
             winner,
             winner_span,
             winner_age,
+            correct,
         });
     }
 
@@ -630,7 +735,25 @@ impl Runner {
         });
         self.tasks[tid.0 as usize].active.push(aid);
         self.maintainer.stats_mut(w).started += 1;
-        self.queue.schedule(now + dur, Event::AssignmentDone(aid));
+        // Churn fault: this assignment may end in a walkout instead of an
+        // answer. Decided here, per assignment, from the dedicated churn
+        // stream (two draws per affected assignment; zero impact on any
+        // benign stream).
+        let walkout_after = match &mut self.churn_fault {
+            Some((churn, rng)) => {
+                if rng.bernoulli(churn.walkout_prob) {
+                    let frac = rng.range_f64(churn.min_frac, churn.max_frac);
+                    Some(SimDuration::from_secs_f64(dur.as_secs_f64() * frac))
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        match walkout_after {
+            Some(after) => self.queue.schedule(now + after, Event::Walkout(aid)),
+            None => self.queue.schedule(now + dur, Event::AssignmentDone(aid)),
+        }
     }
 
     fn batch_complete(&self) -> bool {
@@ -719,6 +842,11 @@ impl Runner {
 }
 
 /// Convenience: run `specs` split into `batch_size` chunks end-to-end.
+///
+/// With a [`BurstFault`](crate::adversity::BurstFault) configured, the
+/// fixed `batch_size` is replaced by burst sizes drawn uniformly from
+/// `[min_batch, max_batch]` on a dedicated fault stream — the task
+/// stream itself (content and order) is untouched.
 pub fn run_batched(
     cfg: RunConfig,
     population: Population,
@@ -726,12 +854,18 @@ pub fn run_batched(
     batch_size: usize,
 ) -> RunReport {
     assert!(batch_size > 0, "batch_size must be positive");
+    let bursts = cfg.adversity.as_ref().and_then(|a| a.bursts);
+    let mut burst_rng = bursts.map(|_| fault_stream(cfg.seed, streams::BURSTS));
     let mut runner = Runner::new(cfg, population);
     runner.reserve_tasks(specs.len());
     runner.warm_up();
     let mut iter = specs.into_iter().peekable();
     while iter.peek().is_some() {
-        let chunk: Vec<TaskSpec> = iter.by_ref().take(batch_size).collect();
+        let take = match (&bursts, &mut burst_rng) {
+            (Some(b), Some(rng)) => b.min_batch + rng.index(b.max_batch - b.min_batch + 1),
+            _ => batch_size,
+        };
+        let chunk: Vec<TaskSpec> = iter.by_ref().take(take).collect();
         runner.run_batch(chunk);
     }
     runner.finish()
@@ -886,5 +1020,147 @@ mod tests {
         let mut r = Runner::new(base_cfg(13), pop());
         r.warm_up();
         r.run_batch(vec![TaskSpec::new(vec![5])]); // n_classes = 2
+    }
+
+    // ------------------------------------------------------------------
+    // Adversity faults
+    // ------------------------------------------------------------------
+
+    use crate::adversity::{AdversityConfig, BurstFault, ChurnFault, OutageFault};
+
+    fn adv_cfg(seed: u64, adversity: AdversityConfig) -> RunConfig {
+        base_cfg(seed).with_adversity(adversity)
+    }
+
+    #[test]
+    fn empty_adversity_is_bit_identical_to_none() {
+        let plain = run_batched(base_cfg(20), pop(), specs(16, 5), 8);
+        let layered = run_batched(adv_cfg(20, AdversityConfig::NONE), pop(), specs(16, 5), 8);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&layered).unwrap()
+        );
+    }
+
+    #[test]
+    fn churn_departs_workers_but_completes_every_task() {
+        let cfg = adv_cfg(
+            21,
+            AdversityConfig { churn: Some(ChurnFault::default()), ..AdversityConfig::NONE },
+        );
+        let report = run_batched(cfg, pop(), specs(24, 5), 8);
+        assert!(report.workers_departed > 0, "15% walkout rate must fire");
+        assert_eq!(report.tasks.len(), 24, "every task still completes");
+        // Re-recruitment happened (some replacements may still be
+        // in-flight at run end, so only arrivals beyond warm-up that
+        // already landed are observable).
+        assert!(report.workers_recruited > 8, "walkouts must trigger re-recruitment");
+        // Walkouts are logged as terminated assignments with no answer.
+        assert!(report.assignments.iter().any(|a| a.terminated));
+    }
+
+    #[test]
+    fn churn_is_deterministic() {
+        let cfg = || {
+            adv_cfg(
+                22,
+                AdversityConfig {
+                    churn: Some(ChurnFault { walkout_prob: 0.3, ..Default::default() }),
+                    ..AdversityConfig::NONE
+                },
+            )
+        };
+        let a = run_batched(cfg(), pop(), specs(16, 5), 8);
+        let b = run_batched(cfg(), pop(), specs(16, 5), 8);
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn outages_stretch_the_run() {
+        let benign = run_batched(base_cfg(23), pop(), specs(24, 5), 8);
+        let dark = run_batched(
+            adv_cfg(
+                23,
+                AdversityConfig {
+                    outage: Some(OutageFault { mean_uptime_secs: 60.0, mean_outage_secs: 60.0 }),
+                    ..AdversityConfig::NONE
+                },
+            ),
+            pop(),
+            specs(24, 5),
+            8,
+        );
+        assert_eq!(dark.tasks.len(), 24);
+        assert!(
+            dark.total_secs() > benign.total_secs(),
+            "50% blackout must slow the run: dark={} benign={}",
+            dark.total_secs(),
+            benign.total_secs()
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_reshape_batches_only() {
+        let cfg = adv_cfg(
+            24,
+            AdversityConfig {
+                bursts: Some(BurstFault { min_batch: 1, max_batch: 7 }),
+                ..AdversityConfig::NONE
+            },
+        );
+        let report = run_batched(cfg, pop(), specs(30, 5), 8);
+        assert_eq!(report.tasks.len(), 30, "every task labeled exactly once");
+        let sizes: Vec<usize> = report.batches.iter().map(|b| b.tasks).collect();
+        assert!(sizes.iter().all(|&s| (1..=7).contains(&s)));
+        assert!(sizes.windows(2).any(|w| w[0] != w[1]), "burst sizes vary: {sizes:?}");
+    }
+
+    #[test]
+    fn composed_faults_run_to_completion_deterministically() {
+        let cfg = || {
+            adv_cfg(
+                25,
+                AdversityConfig {
+                    archetypes: Some(clamshell_trace::ArchetypeMix::spammers(0.3)),
+                    inflation: Some(clamshell_crowd::LatencyInflation {
+                        prob: 0.2,
+                        mult_median: 6.0,
+                        mult_sigma: 0.6,
+                    }),
+                    churn: Some(ChurnFault::default()),
+                    outage: Some(OutageFault::default()),
+                    bursts: Some(BurstFault { min_batch: 2, max_batch: 9 }),
+                },
+            )
+            .with_straggler()
+            .with_maintenance()
+        };
+        let a = run_batched(cfg(), pop(), specs(24, 5), 8);
+        let b = run_batched(cfg(), pop(), specs(24, 5), 8);
+        assert_eq!(a.tasks.len(), 24);
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn accuracy_drops_under_adversarial_workers() {
+        let benign = run_batched(base_cfg(26), pop(), specs(40, 5), 8);
+        let hostile = run_batched(
+            adv_cfg(
+                26,
+                AdversityConfig {
+                    archetypes: Some(clamshell_trace::ArchetypeMix::adversarial(0.4)),
+                    ..AdversityConfig::NONE
+                },
+            ),
+            pop(),
+            specs(40, 5),
+            8,
+        );
+        assert!(
+            hostile.accuracy() < benign.accuracy() - 0.05,
+            "hostile={} benign={}",
+            hostile.accuracy(),
+            benign.accuracy()
+        );
     }
 }

@@ -27,10 +27,12 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod payment;
 pub mod platform;
 pub mod slots;
 
+pub use faults::{CrowdFaults, LatencyInflation};
 pub use payment::CostLedger;
 pub use platform::{PlatformConfig, SimPlatform, WorkerId};
 pub use slots::{MemberState, RetainerPool};

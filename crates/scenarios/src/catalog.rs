@@ -1,0 +1,252 @@
+//! The named scenario catalog.
+//!
+//! Every entry is a labeled mutation of a base [`RunConfig`] that
+//! installs an [`AdversityConfig`] — and nothing else, so a scenario
+//! composes with any pool size, quorum, mitigation, or maintenance
+//! setting the caller picks. The catalog is the single source of truth
+//! for `repro --scenario <name>`, the `adversity` experiment, the
+//! golden-master conformance suite, and the README's scenario table.
+
+use clamshell_core::adversity::{AdversityConfig, BurstFault, ChurnFault, OutageFault};
+use clamshell_core::task::TaskSpec;
+use clamshell_core::RunConfig;
+use clamshell_crowd::LatencyInflation;
+use clamshell_sweep::Grid;
+use clamshell_trace::{ArchetypeMix, Population};
+
+/// One named adversity scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioDef {
+    /// Stable CLI/report name (`repro --scenario <name>`).
+    pub name: &'static str,
+    /// One-line description of what the scenario perturbs.
+    pub summary: &'static str,
+    /// Why it exists: the paper section or related work motivating it.
+    pub motivation: &'static str,
+    mutate: fn(&mut RunConfig),
+}
+
+impl ScenarioDef {
+    /// Apply the scenario's mutation to `cfg` in place.
+    pub fn apply(&self, cfg: &mut RunConfig) {
+        (self.mutate)(cfg)
+    }
+
+    /// A copy of `base` with this scenario applied.
+    pub fn config_from(&self, base: &RunConfig) -> RunConfig {
+        let mut cfg = base.clone();
+        self.apply(&mut cfg);
+        cfg
+    }
+}
+
+fn benign(cfg: &mut RunConfig) {
+    cfg.adversity = None;
+}
+
+fn churn(cfg: &mut RunConfig) {
+    cfg.adversity = Some(AdversityConfig {
+        churn: Some(ChurnFault { walkout_prob: 0.15, min_frac: 0.2, max_frac: 0.9 }),
+        ..AdversityConfig::NONE
+    });
+}
+
+fn spammers(cfg: &mut RunConfig) {
+    cfg.adversity = Some(AdversityConfig {
+        archetypes: Some(ArchetypeMix::spammers(0.30)),
+        ..AdversityConfig::NONE
+    });
+}
+
+fn adversarial(cfg: &mut RunConfig) {
+    cfg.adversity = Some(AdversityConfig {
+        archetypes: Some(ArchetypeMix::adversarial(0.20)),
+        ..AdversityConfig::NONE
+    });
+}
+
+fn sleepy(cfg: &mut RunConfig) {
+    cfg.adversity = Some(AdversityConfig {
+        archetypes: Some(ArchetypeMix::sleepy(0.30)),
+        ..AdversityConfig::NONE
+    });
+}
+
+fn heavy_tail(cfg: &mut RunConfig) {
+    cfg.adversity = Some(AdversityConfig {
+        inflation: Some(LatencyInflation { prob: 0.15, mult_median: 8.0, mult_sigma: 0.8 }),
+        ..AdversityConfig::NONE
+    });
+}
+
+fn bursty(cfg: &mut RunConfig) {
+    cfg.adversity = Some(AdversityConfig {
+        bursts: Some(BurstFault { min_batch: 1, max_batch: 12 }),
+        ..AdversityConfig::NONE
+    });
+}
+
+fn blackout(cfg: &mut RunConfig) {
+    cfg.adversity = Some(AdversityConfig {
+        outage: Some(OutageFault { mean_uptime_secs: 120.0, mean_outage_secs: 45.0 }),
+        ..AdversityConfig::NONE
+    });
+}
+
+fn perfect_storm(cfg: &mut RunConfig) {
+    cfg.adversity = Some(AdversityConfig {
+        archetypes: Some(ArchetypeMix { spammer: 0.15, adversarial: 0.05, sleepy: 0.10 }),
+        inflation: Some(LatencyInflation { prob: 0.10, mult_median: 6.0, mult_sigma: 0.6 }),
+        churn: Some(ChurnFault { walkout_prob: 0.10, min_frac: 0.2, max_frac: 0.9 }),
+        outage: Some(OutageFault { mean_uptime_secs: 180.0, mean_outage_secs: 30.0 }),
+        bursts: Some(BurstFault { min_batch: 2, max_batch: 10 }),
+    });
+}
+
+/// The full scenario catalog, in stable (golden-snapshot) order.
+pub fn catalog() -> &'static [ScenarioDef] {
+    &[
+        ScenarioDef {
+            name: "benign",
+            summary: "No faults: the paper's happy-path crowd (baseline for every delta)",
+            motivation: "CLAMShell \u{a7}6 evaluates only this regime",
+            mutate: benign,
+        },
+        ScenarioDef {
+            name: "churn",
+            summary: "15% of assignments end in a mid-task walkout; slots refill from the market",
+            motivation: "Retainer attrition \u{a7}4.2; pools must survive worker loss",
+            mutate: churn,
+        },
+        ScenarioDef {
+            name: "spammers",
+            summary: "30% of recruits click through near-instantly at chance accuracy",
+            motivation: "Spammer populations (Muhammadi et al., Crowd Labeling survey)",
+            mutate: spammers,
+        },
+        ScenarioDef {
+            name: "adversarial",
+            summary: "20% of recruits answer wrong on purpose at normal speed",
+            motivation: "Adversarial annotators (Muhammadi et al., Crowd Labeling survey)",
+            mutate: adversarial,
+        },
+        ScenarioDef {
+            name: "sleepy",
+            summary: "30% of recruits stall frequently for ~15x their base latency",
+            motivation: "Error-embracing rapid workers drift (Krishna et al.)",
+            mutate: sleepy,
+        },
+        ScenarioDef {
+            name: "heavy-tail",
+            summary: "15% of assignments inflate by a log-normal factor (median 8x)",
+            motivation: "\u{a7}2.1: even fast workers can take an hour on some tasks",
+            mutate: heavy_tail,
+        },
+        ScenarioDef {
+            name: "bursty",
+            summary: "Task stream arrives in bursts of 1..=12 instead of fixed batches",
+            motivation: "Interactive front-ends (\u{a7}5 Batcher) produce floods and trickles",
+            mutate: bursty,
+        },
+        ScenarioDef {
+            name: "blackout",
+            summary: "Platform outages (mean 45s every ~2min) defer submissions and recruits",
+            motivation: "Live MTurk deployments see transient platform failures (\u{a7}6.1)",
+            mutate: blackout,
+        },
+        ScenarioDef {
+            name: "perfect-storm",
+            summary: "Churn + mixed archetypes + inflation + outages + bursts, all at once",
+            motivation: "Composability: faults draw from disjoint streams by construction",
+            mutate: perfect_storm,
+        },
+    ]
+}
+
+/// Look a scenario up by name.
+pub fn find(name: &str) -> Option<&'static ScenarioDef> {
+    catalog().iter().find(|s| s.name == name)
+}
+
+/// All scenario names, in catalog order.
+pub fn names() -> Vec<&'static str> {
+    catalog().iter().map(|s| s.name).collect()
+}
+
+/// A [`Grid`] with the whole catalog as its scenario axis (catalog
+/// order), ready for seeds. This is how the scenario library plugs into
+/// the sweep engine: each catalog entry becomes one deterministic grid
+/// row.
+pub fn grid(
+    base: RunConfig,
+    population: Population,
+    specs: Vec<TaskSpec>,
+    batch_size: usize,
+) -> Grid {
+    let mut g = Grid::new(base, population, specs, batch_size);
+    for s in catalog() {
+        g = g.scenario(s.name, |cfg| s.apply(cfg));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_nonempty() {
+        let names = names();
+        assert!(names.len() >= 6, "issue requires >= 5 adversity scenarios + benign");
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn find_round_trips_every_name() {
+        for s in catalog() {
+            assert_eq!(find(s.name).unwrap().name, s.name);
+        }
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn every_scenario_yields_a_valid_config() {
+        let base = RunConfig::default().with_straggler().with_maintenance();
+        for s in catalog() {
+            let cfg = s.config_from(&base);
+            cfg.validate();
+            // Adversity is the only thing a scenario may touch.
+            assert_eq!(cfg.pool_size, base.pool_size);
+            assert_eq!(cfg.quorum, base.quorum);
+            assert_eq!(cfg.straggler, base.straggler);
+        }
+    }
+
+    #[test]
+    fn benign_clears_adversity() {
+        let mut cfg = RunConfig { adversity: Some(AdversityConfig::NONE), ..Default::default() };
+        find("benign").unwrap().apply(&mut cfg);
+        assert!(cfg.adversity.is_none());
+    }
+
+    #[test]
+    fn grid_axis_matches_catalog() {
+        let g = grid(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            (0..4).map(|i| TaskSpec::new(vec![(i % 2) as u32; 2])).collect(),
+            4,
+        )
+        .seeds(&[1, 2]);
+        assert_eq!(g.validate(), Ok(()));
+        assert_eq!(g.n_scenarios(), catalog().len());
+        assert_eq!(g.n_jobs(), catalog().len() * 2);
+        let jobs = g.jobs();
+        for (i, s) in catalog().iter().enumerate() {
+            assert_eq!(&*jobs[i * 2].label, s.name);
+        }
+    }
+}

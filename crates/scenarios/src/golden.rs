@@ -1,0 +1,97 @@
+//! Golden-master storage: committed snapshots under
+//! `crates/scenarios/golden/`, one JSON file per scenario.
+//!
+//! The conformance suite (`tests/golden.rs`) renders the current
+//! [`CompactReport`]s and requires **byte
+//! equality** with the committed files — under `CLAMSHELL_THREADS=1`
+//! and `=4` in CI, which is what extends the determinism contract to
+//! every scenario. Regenerate intentionally with:
+//!
+//! ```text
+//! CLAMSHELL_BLESS=1 cargo test -p clamshell-scenarios --test golden
+//! ```
+
+use crate::report::CompactReport;
+use std::path::{Path, PathBuf};
+
+/// The committed snapshot directory.
+pub fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+/// Snapshot path for one scenario.
+pub fn golden_path(scenario: &str) -> PathBuf {
+    golden_dir().join(format!("{scenario}.json"))
+}
+
+/// Render a scenario's per-seed snapshots as the committed file format:
+/// a JSON array with one compact object per line (stable, diffable).
+pub fn render(reports: &[CompactReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&serde_json::to_string(r).expect("compact report serializes"));
+        if i + 1 < reports.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Read a scenario's committed snapshot, if present.
+pub fn read(scenario: &str) -> Option<String> {
+    std::fs::read_to_string(golden_path(scenario)).ok()
+}
+
+/// Overwrite a scenario's committed snapshot (the bless path).
+pub fn bless(scenario: &str, content: &str) {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create golden dir");
+    std::fs::write(golden_path(scenario), content).expect("write golden file");
+}
+
+/// Whether this test run should regenerate snapshots instead of
+/// comparing (`CLAMSHELL_BLESS` set to anything non-empty).
+pub fn blessing() -> bool {
+    std::env::var("CLAMSHELL_BLESS").map(|v| !v.is_empty()).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_one_object_per_line() {
+        let r = CompactReport {
+            scenario: "x".into(),
+            seed: 1,
+            tasks: 2,
+            batches: 1,
+            labels: 4,
+            labels_correct: 3,
+            total_ms: 1000,
+            cost_micro: 42,
+            workers_recruited: 3,
+            workers_evicted: 0,
+            workers_departed: 0,
+            assignments: 2,
+            terminated: 0,
+            fingerprint: 7,
+        };
+        let text = render(&[r.clone(), r]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "[");
+        assert!(lines[1].ends_with(','));
+        assert_eq!(lines[3], "]");
+        assert!(text.ends_with("]\n"));
+    }
+
+    #[test]
+    fn paths_land_inside_the_crate() {
+        let p = golden_path("benign");
+        assert!(p.ends_with("golden/benign.json"));
+        assert!(p.starts_with(env!("CARGO_MANIFEST_DIR")));
+    }
+}

@@ -1,0 +1,99 @@
+//! # clamshell-scenarios
+//!
+//! The adversity scenario library: a catalog of **named, composable,
+//! deterministic fault-injection scenarios** that stress the CLAMShell
+//! reproduction in the regimes the paper never evaluates — spammer and
+//! adversarial annotator populations (Muhammadi et al., "Crowd Labeling:
+//! a survey"), error-embracing rapid workers (Krishna et al., "Embracing
+//! Error to Enable Rapid Crowdsourcing"), mid-assignment worker churn,
+//! bursty task arrivals, heavy-tailed latency inflation, and transient
+//! platform outages.
+//!
+//! Each [`ScenarioDef`] is a labeled mutation of a
+//! [`RunConfig`] (setting its
+//! [`adversity`](clamshell_core::RunConfig::adversity) layer) that plugs
+//! straight into [`clamshell_sweep::Grid`] as a scenario axis
+//! ([`catalog::grid`]) and is runnable from the CLI via
+//! `repro --scenario <name>`.
+//!
+//! ## Determinism contract
+//!
+//! Every fault draws exclusively from a dedicated stream derived via
+//! [`clamshell_sim::faults::fault_stream`], so:
+//!
+//! * enabling a fault never perturbs any benign stream or other fault;
+//! * a scenario run is a pure function of `(scenario, seed)`;
+//! * sweep output is byte-identical at any `CLAMSHELL_THREADS`.
+//!
+//! The [`golden`] module pins that contract down: compact
+//! [`RunReport`](clamshell_core::metrics::RunReport) snapshots per
+//! `(scenario, seed)` are committed under `crates/scenarios/golden/` and
+//! CI replays the whole suite under `CLAMSHELL_THREADS=1` and `=4`,
+//! requiring byte-identical output both times.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod golden;
+pub mod report;
+
+pub use catalog::{catalog, find, grid, names, ScenarioDef};
+pub use report::CompactReport;
+
+use clamshell_core::RunConfig;
+
+/// The conformance suite's fixed workload: the base configuration, seeds,
+/// and task shape every golden snapshot is generated from. Kept here (not
+/// in the test) so the test, the bless path, and CI all agree byte for
+/// byte.
+pub mod suite {
+    use super::*;
+    use clamshell_core::task::TaskSpec;
+    use clamshell_trace::Population;
+
+    /// Seeds each scenario is snapshotted under.
+    pub const SEEDS: [u64; 2] = [11, 12];
+
+    /// Number of tasks in the suite workload.
+    pub const N_TASKS: usize = 16;
+
+    /// Records per task.
+    pub const NG: usize = 2;
+
+    /// Batch size (scenario faults may reshape it, e.g. `bursty`).
+    pub const BATCH: usize = 8;
+
+    /// The suite's base configuration: a small straggler-mitigated pool,
+    /// binary tasks, live-experiment population.
+    pub fn base_config() -> RunConfig {
+        RunConfig { pool_size: 6, ng: NG as u32, seed: SEEDS[0], ..Default::default() }
+            .with_straggler()
+    }
+
+    /// The suite's task specs (alternating binary truths).
+    pub fn specs() -> Vec<TaskSpec> {
+        (0..N_TASKS).map(|i| TaskSpec::new(vec![(i % 2) as u32; NG])).collect()
+    }
+
+    /// The suite's population.
+    pub fn population() -> Population {
+        Population::mturk_live()
+    }
+
+    /// Run the whole catalog × [`SEEDS`] grid and return compact
+    /// snapshots grouped per scenario, in catalog order. `threads = None`
+    /// resolves via `CLAMSHELL_THREADS` like every sweep entry point.
+    pub fn compact_suite(threads: Option<usize>) -> Vec<(&'static str, Vec<CompactReport>)> {
+        let g = grid(base_config(), population(), specs(), BATCH).seeds(&SEEDS);
+        let grouped = g.try_run_all(threads).expect("catalog grid is valid").into_iter();
+        let mut rows: Vec<(&'static str, Vec<CompactReport>)> =
+            catalog().iter().map(|s| (s.name, Vec::new())).collect();
+        for (i, report) in grouped.enumerate() {
+            let scenario = i / SEEDS.len();
+            let seed = SEEDS[i % SEEDS.len()];
+            let name = rows[scenario].0;
+            rows[scenario].1.push(CompactReport::of(name, seed, &report));
+        }
+        rows
+    }
+}

@@ -1,0 +1,91 @@
+//! The golden-master conformance suite.
+//!
+//! Every catalog scenario is run over the fixed suite workload
+//! (`clamshell_scenarios::suite`) and its compact snapshots must match
+//! the committed files under `crates/scenarios/golden/` **byte for
+//! byte**. CI runs this under `CLAMSHELL_THREADS=1` and `=4`; since the
+//! committed bytes are thread-count-independent, passing both legs
+//! proves the determinism contract holds for every scenario.
+//!
+//! Regenerate intentionally with:
+//! `CLAMSHELL_BLESS=1 cargo test -p clamshell-scenarios --test golden`
+
+use clamshell_scenarios::{golden, suite};
+
+#[test]
+fn golden_master_conformance() {
+    let rows = suite::compact_suite(None);
+    assert_eq!(rows.len(), clamshell_scenarios::catalog().len());
+    let mut mismatches = Vec::new();
+    for (name, reports) in &rows {
+        assert_eq!(reports.len(), suite::SEEDS.len());
+        let rendered = golden::render(reports);
+        if golden::blessing() {
+            golden::bless(name, &rendered);
+            continue;
+        }
+        match golden::read(name) {
+            Some(committed) if committed == rendered => {}
+            Some(_) => mismatches.push(format!("{name}: snapshot drifted")),
+            None => mismatches.push(format!("{name}: no committed snapshot")),
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden-master mismatches (regenerate intentionally with CLAMSHELL_BLESS=1):\n  {}",
+        mismatches.join("\n  ")
+    );
+}
+
+#[test]
+fn suite_is_byte_identical_across_thread_counts() {
+    // The in-test version of the CI matrix: the rendered suite at 1 and
+    // 4 sweep threads must agree byte for byte, committed files aside.
+    let render_all = |threads: usize| {
+        suite::compact_suite(Some(threads))
+            .iter()
+            .map(|(name, reports)| format!("## {name}\n{}", golden::render(reports)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(render_all(1), render_all(4));
+}
+
+#[test]
+fn suite_covers_every_adversity_regime() {
+    // Cheap sanity on the committed numbers themselves: the scenarios
+    // must actually exercise their fault (otherwise the snapshots pin
+    // down nothing).
+    let rows = suite::compact_suite(None);
+    let by_name = |n: &str| {
+        rows.iter().find(|(name, _)| *name == n).unwrap_or_else(|| panic!("missing {n}")).1.clone()
+    };
+    let benign = by_name("benign");
+    for r in &benign {
+        assert_eq!(r.workers_departed, 0, "benign runs never churn");
+        assert_eq!(r.tasks, suite::N_TASKS);
+    }
+    assert!(
+        by_name("churn").iter().any(|r| r.workers_departed > 0),
+        "churn snapshots must show walkouts"
+    );
+    let acc = |rs: &[clamshell_scenarios::CompactReport]| {
+        let (c, l): (u64, u64) =
+            rs.iter().fold((0, 0), |(c, l), r| (c + r.labels_correct, l + r.labels));
+        c as f64 / l as f64
+    };
+    assert!(
+        acc(&by_name("adversarial")) < acc(&benign),
+        "adversarial annotators must cost accuracy"
+    );
+    let mean_ms = |rs: &[clamshell_scenarios::CompactReport]| {
+        rs.iter().map(|r| r.total_ms).sum::<u64>() / rs.len() as u64
+    };
+    assert!(mean_ms(&by_name("blackout")) > mean_ms(&benign), "outages must stretch the run");
+    for (name, reports) in &rows {
+        for r in reports {
+            assert_eq!(r.tasks, suite::N_TASKS, "{name} must complete every task");
+            assert_eq!(r.labels, (suite::N_TASKS * suite::NG) as u64);
+        }
+    }
+}

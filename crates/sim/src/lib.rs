@@ -19,6 +19,9 @@
 //! * [`stats`] — streaming statistics (Welford mean/variance), percentile
 //!   summaries, empirical CDFs, and the one-sided significance test used by
 //!   pool maintenance.
+//! * [`faults`] — deterministic fault-injection primitives: labeled fault
+//!   RNG streams and the lazy outage schedule the adversity scenarios
+//!   defer platform events through.
 //!
 //! Everything in this crate is pure computation: no I/O, no wall-clock
 //! access, no global state.
@@ -27,12 +30,14 @@
 
 pub mod dist;
 pub mod events;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use dist::{Beta, Exponential, LogNormal, Normal, TruncNormal};
 pub use events::EventQueue;
+pub use faults::{fault_stream, OutageSchedule};
 pub use rng::Rng;
 pub use stats::{ecdf, percentile, OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

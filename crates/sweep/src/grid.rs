@@ -12,6 +12,34 @@ use clamshell_core::RunConfig;
 use clamshell_trace::Population;
 use std::sync::Arc;
 
+/// Why a grid cannot run: structural problems caught *before* any job is
+/// dispatched, so a bad grid fails fast with a typed error instead of
+/// panicking mid-sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// The seed axis is empty (a grid of zero cells).
+    EmptySeedAxis,
+    /// Two scenarios share a label; results keyed by label would silently
+    /// collide.
+    DuplicateScenario {
+        /// The offending label.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::EmptySeedAxis => write!(f, "grid has an empty seed axis"),
+            GridError::DuplicateScenario { label } => {
+                write!(f, "grid declares scenario label {label:?} more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
 /// One axis point of a grid: a labeled mutation of the base config,
 /// optionally overriding the grid's task specs and batch size (needed by
 /// sweeps where the knob changes the workload shape, e.g. the `R` and
@@ -98,11 +126,29 @@ impl Grid {
         }
     }
 
-    /// Set the seed axis (replaces the default single seed).
+    /// Set the seed axis (replaces the default single seed). An empty
+    /// axis is accepted here and reported as
+    /// [`GridError::EmptySeedAxis`] by [`Grid::validate`] / the `try_*`
+    /// entry points.
     pub fn seeds(mut self, seeds: &[u64]) -> Self {
-        assert!(!seeds.is_empty(), "seed axis must be non-empty");
         self.seeds = seeds.to_vec();
         self
+    }
+
+    /// Check the grid is structurally runnable: a non-empty seed axis
+    /// and no duplicate scenario labels. Every run entry point calls
+    /// this first, so an invalid grid fails before any cell executes.
+    pub fn validate(&self) -> Result<(), GridError> {
+        if self.seeds.is_empty() {
+            return Err(GridError::EmptySeedAxis);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &self.scenarios {
+            if !seen.insert(&*s.label) {
+                return Err(GridError::DuplicateScenario { label: s.label.to_string() });
+            }
+        }
+        Ok(())
     }
 
     /// Append a scenario: a labeled mutation of the base config.
@@ -213,6 +259,17 @@ impl Grid {
         threads: Option<usize>,
         cancel: &CancelToken,
     ) -> (Vec<Option<RunReport>>, ExecStatus) {
+        self.try_run(threads, cancel).unwrap_or_else(|e| panic!("invalid grid: {e}"))
+    }
+
+    /// [`Self::run`], failing fast with a [`GridError`] on a structurally
+    /// invalid grid instead of panicking.
+    pub fn try_run(
+        &self,
+        threads: Option<usize>,
+        cancel: &CancelToken,
+    ) -> Result<(Vec<Option<RunReport>>, ExecStatus), GridError> {
+        self.validate()?;
         let mut out: Vec<Option<RunReport>> = Vec::with_capacity(self.n_jobs());
         out.resize_with(self.n_jobs(), || None);
         let status = persistent::execute_streaming_pooled(
@@ -224,15 +281,21 @@ impl Grid {
             |_, _, job: Job| job.run(),
             &mut |i, r| out[i] = Some(r),
         );
-        (out, status)
+        Ok((out, status))
     }
 
     /// Run the whole grid with no cancellation and unwrap the reports
     /// (enumeration order).
     pub fn run_all(&self, threads: Option<usize>) -> Vec<RunReport> {
-        let (reports, status) = self.run(threads, &CancelToken::new());
+        self.try_run_all(threads).unwrap_or_else(|e| panic!("invalid grid: {e}"))
+    }
+
+    /// [`Self::run_all`], failing fast with a [`GridError`] on a
+    /// structurally invalid grid instead of panicking.
+    pub fn try_run_all(&self, threads: Option<usize>) -> Result<Vec<RunReport>, GridError> {
+        let (reports, status) = self.try_run(threads, &CancelToken::new())?;
         debug_assert!(status.is_complete());
-        reports.into_iter().map(|r| r.expect("uncancelled sweep completes")).collect()
+        Ok(reports.into_iter().map(|r| r.expect("uncancelled sweep completes")).collect())
     }
 
     /// Run the whole grid and group reports by scenario: `out[s][k]` is
@@ -267,6 +330,9 @@ impl Grid {
         progress: Option<ProgressFn<'_>>,
         agg: &mut dyn Aggregator,
     ) -> ExecStatus {
+        if let Err(e) = self.validate() {
+            panic!("invalid grid: {e}");
+        }
         persistent::execute_streaming_pooled(
             persistent::WorkerPool::global(),
             self.jobs(),
@@ -401,6 +467,52 @@ mod tests {
         let one = grid.run_all(Some(1));
         let four = grid.run_all(Some(4));
         assert_eq!(serde_json::to_string(&one).unwrap(), serde_json::to_string(&four).unwrap());
+    }
+
+    #[test]
+    fn empty_seed_axis_is_a_structured_error() {
+        let grid = Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs(4),
+            4,
+        )
+        .seeds(&[]);
+        assert_eq!(grid.validate(), Err(GridError::EmptySeedAxis));
+        assert_eq!(grid.try_run_all(Some(1)).unwrap_err(), GridError::EmptySeedAxis);
+        let err = grid.try_run(Some(1), &CancelToken::new()).map(|_| ()).unwrap_err();
+        assert_eq!(err.to_string(), "grid has an empty seed axis");
+    }
+
+    #[test]
+    fn duplicate_scenario_labels_are_a_structured_error() {
+        let grid = Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs(4),
+            4,
+        )
+        .scenario("sm", |c| c.straggler = Some(Default::default()))
+        .scenario("base", |_| {})
+        .scenario("sm", |_| {});
+        let err = grid.try_run_all(Some(1)).unwrap_err();
+        assert_eq!(err, GridError::DuplicateScenario { label: "sm".into() });
+        assert!(err.to_string().contains("\"sm\""));
+        // Distinct labels validate fine.
+        assert_eq!(small_grid().validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid grid")]
+    fn panicking_entry_point_fails_fast_before_any_job() {
+        let grid = Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs(4),
+            4,
+        )
+        .seeds(&[]);
+        let _ = grid.run_all(Some(1));
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub mod queue;
 pub mod threads;
 
 pub use aggregate::{Aggregator, Metric, MetricsAggregator};
-pub use grid::{Grid, JobMeta, Scenario};
+pub use grid::{Grid, GridError, JobMeta, Scenario};
 pub use persistent::{execute_streaming_pooled, WorkerPool};
 pub use pool::{execute, execute_streaming, ExecStatus};
 pub use progress::{CancelToken, ProgressFn};

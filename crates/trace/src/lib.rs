@@ -20,13 +20,17 @@
 //!   [`population::Population::bimodal`] gives the two-worker-type model
 //!   used by the paper's TermEst derivation (§4.3).
 //! * [`cdf`] — per-worker mean/std CDFs: the data series behind Figure 2.
+//! * [`archetype`] — adversarial population overlays (spammer /
+//!   adversarial / sleepy workers) for the adversity scenarios.
 
 #![warn(missing_docs)]
 
+pub mod archetype;
 pub mod calibration;
 pub mod cdf;
 pub mod population;
 pub mod profile;
 
+pub use archetype::{Archetype, ArchetypeMix};
 pub use population::Population;
 pub use profile::WorkerProfile;

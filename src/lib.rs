@@ -58,17 +58,20 @@
 //! | [`quality`] | Quality control: majority voting, Dawid–Skene EM, inter-worker agreement |
 //! | [`core`] | The CLAMShell system: runner, straggler mitigation, pool maintenance, hybrid learning, baselines |
 //! | [`sweep`] | Deterministic parallel sweep engine: seed × scenario grids on a work-stealing pool |
+//! | [`scenarios`] | Named adversity scenarios (churn, spammers, outages, …) + golden-master conformance suite |
 
 pub use clamshell_core as core;
 pub use clamshell_crowd as crowd;
 pub use clamshell_learn as learn;
 pub use clamshell_quality as quality;
+pub use clamshell_scenarios as scenarios;
 pub use clamshell_sim as sim;
 pub use clamshell_sweep as sweep;
 pub use clamshell_trace as trace;
 
 /// The commonly-used surface in one import.
 pub mod prelude {
+    pub use clamshell_core::adversity::{AdversityConfig, BurstFault, ChurnFault, OutageFault};
     pub use clamshell_core::baselines::{
         headline_raw_labeling, run_base_nr, run_base_r, run_clamshell, run_open_market, EndToEnd,
         OpenMarketConfig,
@@ -93,7 +96,8 @@ pub mod prelude {
     pub use clamshell_learn::sampling::Uncertainty;
     pub use clamshell_learn::Dataset;
     pub use clamshell_quality::{majority_vote, ConfusionEm, DawidSkene, EmConfig};
+    pub use clamshell_scenarios::{CompactReport, ScenarioDef};
     pub use clamshell_sim::{SimDuration, SimTime};
-    pub use clamshell_sweep::{CancelToken, Grid, Metric, MetricsAggregator};
-    pub use clamshell_trace::{Population, WorkerProfile};
+    pub use clamshell_sweep::{CancelToken, Grid, GridError, Metric, MetricsAggregator};
+    pub use clamshell_trace::{Archetype, ArchetypeMix, Population, WorkerProfile};
 }

@@ -8,6 +8,11 @@ use std::marker::PhantomData;
 pub trait Arbitrary: Sized {
     /// Sample one arbitrary value of `Self`.
     fn arbitrary_value(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications of a failing value (simplest first).
+    fn arbitrary_shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 /// Strategy over the full domain of `T` (see [`any`]).
@@ -20,6 +25,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary_value(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.arbitrary_shrink()
+    }
 }
 
 /// A strategy generating arbitrary values of `T`.
@@ -30,6 +39,14 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 impl Arbitrary for bool {
     fn arbitrary_value(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn arbitrary_shrink(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 

@@ -10,12 +10,45 @@ pub struct VecStrategy<S> {
     size: Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = self.size.clone().sample(rng);
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    /// Shrink by halving: propose the first and second half of the
+    /// failing vec (never shorter than the size range allows), then
+    /// element-wise shrinks of the first position that can shrink.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let half = value.len() / 2;
+        if half >= self.size.start && half < value.len() {
+            out.push(value[..half].to_vec());
+            if half > 0 {
+                // Skipped for length-1 vecs: the "second half" would be
+                // the value itself, and a no-op candidate would let the
+                // greedy loop adopt it forever without progress.
+                out.push(value[half..].to_vec());
+            }
+        }
+        for (i, v) in value.iter().enumerate() {
+            let shrunk = self.element.shrink(v);
+            if shrunk.is_empty() {
+                continue;
+            }
+            for candidate in shrunk {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+            break; // one position per round keeps the candidate list small
+        }
+        out
     }
 }
 

@@ -3,10 +3,17 @@
 //! Implements the subset the workspace's property tests use: the
 //! [`proptest!`] macro, range / tuple / `prop_map` / `any::<bool>()` /
 //! `collection::vec` strategies, `ProptestConfig::with_cases`, and the
-//! `prop_assert*` macros. Unlike real proptest there is no shrinking and
-//! case generation is fully deterministic (seeded by case index), which
-//! suits a reproducibility-focused simulator: a failing case index is
-//! stable across runs.
+//! `prop_assert*` macros. Case generation is fully deterministic (seeded
+//! by case index), which suits a reproducibility-focused simulator: a
+//! failing case index is stable across runs.
+//!
+//! Failing cases are **shrunk** before being reported: integers move
+//! toward their range start, vecs halve (and shrink element-wise), bools
+//! drop to `false`, tuples shrink component-wise — greedily, re-running
+//! the property on each candidate until no candidate still fails, then
+//! the minimal counterexample is printed. Mapped strategies
+//! (`prop_map`) are opaque and do not shrink, matching the previous
+//! behaviour for composite generators.
 
 pub mod arbitrary;
 pub mod collection;
@@ -41,6 +48,7 @@ macro_rules! prop_assert_ne {
 
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }`
 /// becomes a `#[test]` that samples its arguments `config.cases` times.
+/// Failing cases are shrunk (see the crate docs) before being reported.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -55,6 +63,13 @@ macro_rules! proptest {
 }
 
 /// Implementation detail of [`proptest!`]: munches one test fn at a time.
+///
+/// Each case samples the argument tuple through the tuple strategy
+/// (identical draw order to per-argument sampling), runs the body under
+/// `catch_unwind`, and on failure greedily adopts shrink candidates that
+/// still fail before reporting the minimal counterexample. Re-running a
+/// failing body prints its panic message each attempt; that noise is
+/// confined to the already-failing test's captured output.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_fns {
@@ -67,16 +82,169 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __strat = ($($strat,)+);
+            // Pin the checker closure's parameter to the strategy's value
+            // type (closure params cannot be inferred from later calls).
+            fn __typed<S: $crate::strategy::Strategy, F: Fn(S::Value) -> bool>(
+                _strat: &S,
+                f: F,
+            ) -> F {
+                f
+            }
+            // True iff the property body panics for this argument tuple.
+            let __fails = __typed(&__strat, |__vals| {
+                let ($($arg,)+) = __vals;
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || $body)).is_err()
+            });
             for __case in 0..(__cfg.cases as u64) {
-                let __guard = $crate::test_runner::CaseGuard::new(stringify!($name), __case);
                 let mut __rng = $crate::test_runner::TestRng::from_case(__case);
-                $(
-                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
-                )+
-                $body
-                __guard.disarm();
+                let __sampled = $crate::strategy::Strategy::sample(&__strat, &mut __rng);
+                if !__fails(__sampled.clone()) {
+                    continue;
+                }
+                // Shrink: adopt any candidate that still fails, restart
+                // from it, stop when a whole round yields none (or the
+                // re-run budget is spent).
+                let mut __minimal = __sampled;
+                let mut __budget: usize = 256;
+                '__shrinking: loop {
+                    let __candidates =
+                        $crate::strategy::Strategy::shrink(&__strat, &__minimal);
+                    for __candidate in __candidates {
+                        if __budget == 0 {
+                            break '__shrinking;
+                        }
+                        __budget -= 1;
+                        if __fails(__candidate.clone()) {
+                            __minimal = __candidate;
+                            continue '__shrinking;
+                        }
+                    }
+                    break;
+                }
+                let ($($arg,)+) = __minimal;
+                panic!(
+                    "proptest (vendored): property `{}` failed at deterministic case index {}; \
+                     minimal counterexample: {} = {:?}",
+                    stringify!($name),
+                    __case,
+                    stringify!(($($arg),+)),
+                    ($(&$arg,)+),
+                );
             }
         }
         $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    // Deliberately failing properties, compiled WITHOUT `#[test]` so the
+    // suite can invoke them under `catch_unwind` and inspect the shrunk
+    // counterexample in the panic message.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        fn fails_above_ten(x in 0u32..1000) {
+            prop_assert!(x <= 10);
+        }
+
+        fn fails_on_big_element(v in crate::collection::vec(0u32..10, 1..20)) {
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        fn fails_when_flag_set(flag in any::<bool>(), n in 0usize..50) {
+            prop_assert!(!flag || n > 100_000); // fails whenever flag is true
+        }
+
+        fn fails_on_nine(v in crate::collection::vec(0u32..10, 0..5)) {
+            prop_assert!(!v.contains(&9));
+        }
+    }
+
+    fn failure_message(f: fn()) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("property must fail");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message")
+    }
+
+    #[test]
+    fn integers_shrink_to_the_boundary() {
+        let msg = failure_message(fails_above_ten);
+        assert!(msg.contains("minimal counterexample"), "{msg}");
+        assert!(msg.contains("(11,)"), "expected boundary value 11: {msg}");
+    }
+
+    #[test]
+    fn vecs_shrink_to_a_single_minimal_element() {
+        let msg = failure_message(fails_on_big_element);
+        assert!(msg.contains("[5]"), "expected single-element [5]: {msg}");
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let msg = failure_message(fails_when_flag_set);
+        // flag stays true (false passes); n shrinks all the way to 0.
+        assert!(msg.contains("(true, 0)"), "{msg}");
+    }
+
+    #[test]
+    fn zero_floor_vecs_shrink_without_noop_candidates() {
+        // A length-1 vec in a 0-floored size range must not propose
+        // itself (the old "second half" bug burned the whole shrink
+        // budget adopting a no-op clone) and must still reach the
+        // minimal single-element counterexample.
+        let vs = crate::collection::vec(0u32..10, 0..5);
+        for c in vs.shrink(&vec![9u32]) {
+            assert_ne!(c, vec![9u32], "candidate must differ from the value");
+        }
+        let msg = failure_message(fails_on_nine);
+        assert!(msg.contains("[9]"), "expected minimal [9]: {msg}");
+    }
+
+    #[test]
+    fn shrink_candidates_respect_domains() {
+        let r = 5u32..100;
+        for v in [6u32, 50, 99] {
+            for c in r.shrink(&v) {
+                assert!((5..v).contains(&c), "candidate {c} outside [5, {v})");
+            }
+        }
+        assert!(r.shrink(&5).is_empty(), "start of range cannot shrink");
+
+        let vs = crate::collection::vec(0u32..4, 2..10);
+        let v = vec![3u32, 2, 1, 0];
+        for c in vs.shrink(&v) {
+            assert!(c.len() >= 2, "vec candidate below size floor: {c:?}");
+        }
+    }
+
+    #[test]
+    fn runs_exactly_the_configured_cases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(17))]
+            fn counted(x in 0u32..10) {
+                let _ = x;
+                COUNT.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        counted();
+        assert_eq!(COUNT.load(Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    fn passing_properties_still_pass() {
+        proptest! {
+            fn holds(x in 0u32..100, v in crate::collection::vec(0u32..4, 0..8)) {
+                prop_assert!(x < 100);
+                prop_assert!(v.len() < 8);
+            }
+        }
+        holds();
+    }
 }

@@ -12,6 +12,15 @@ pub trait Strategy {
     /// Sample one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing value, simplest first.
+    /// Every candidate must stay inside the strategy's domain (an `a..b`
+    /// range never proposes values outside `[a, b)`; a sized vec never
+    /// proposes a too-short vec). The default is no shrinking, which is
+    /// what mapped/opaque strategies keep — `f` cannot be inverted.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Transform generated values with `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -52,6 +61,29 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Shrink an integer toward the range start (the "0" of the domain):
+/// propose the start itself, the midpoint, and the predecessor — enough
+/// for logarithmic convergence with a final linear step, while never
+/// leaving `[start, value)`.
+macro_rules! int_shrink_candidates {
+    ($v:expr, $start:expr) => {{
+        let (v, start) = ($v, $start);
+        let mut out = Vec::new();
+        if v != start {
+            out.push(start);
+            let mid = start + (v - start) / 2;
+            if mid != start && mid != v {
+                out.push(mid);
+            }
+            let dec = v - 1;
+            if dec != start && dec != mid {
+                out.push(dec);
+            }
+        }
+        out
+    }};
+}
+
 macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -61,6 +93,10 @@ macro_rules! impl_int_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end - self.start) as u64;
                 self.start + rng.next_below(span) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates!(*value, self.start)
             }
         }
     )*};
@@ -75,6 +111,10 @@ impl Strategy for Range<u64> {
         assert!(self.start < self.end, "empty range strategy");
         self.start + rng.next_below(self.end - self.start)
     }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        int_shrink_candidates!(*value, self.start)
+    }
 }
 
 macro_rules! impl_signed_range_strategy {
@@ -86,6 +126,10 @@ macro_rules! impl_signed_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as i64 - self.start as i64) as u64;
                 (self.start as i64 + rng.next_below(span) as i64) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates!(*value, self.start)
             }
         }
     )*};
@@ -118,11 +162,27 @@ impl Strategy for Range<f32> {
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident . $idx:tt),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+
+            /// Shrink one component at a time, the rest held fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};

@@ -60,34 +60,3 @@ impl TestRng {
         self.next_u64() % bound
     }
 }
-
-/// Prints the failing property and case index if the body panics, since
-/// the vendored runner has no shrinking machinery to do it for us.
-pub struct CaseGuard {
-    name: &'static str,
-    case: u64,
-    armed: bool,
-}
-
-impl CaseGuard {
-    /// Arms a guard for one case of `name`.
-    pub fn new(name: &'static str, case: u64) -> Self {
-        Self { name, case, armed: true }
-    }
-
-    /// The case passed; do not report on drop.
-    pub fn disarm(mut self) {
-        self.armed = false;
-    }
-}
-
-impl Drop for CaseGuard {
-    fn drop(&mut self) {
-        if self.armed && std::thread::panicking() {
-            eprintln!(
-                "proptest (vendored): property `{}` failed at deterministic case index {}",
-                self.name, self.case
-            );
-        }
-    }
-}
