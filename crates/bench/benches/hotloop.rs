@@ -38,17 +38,23 @@ struct CountingAlloc;
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a thin pass-through to the System allocator — every method
+// forwards its arguments unchanged, so System's layout/provenance
+// contract is upheld verbatim; the counters are side-effect-only.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to System.alloc with the caller's layout.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: delegates to System.dealloc with the caller's ptr/layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: delegates to System.realloc with the caller's arguments.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);

@@ -154,7 +154,7 @@ mod tests {
     fn random_covers_all_eligible() {
         let (tasks, assignments) = fixture();
         let mut rng = Rng::new(2);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
             if let Some(p) = route(
                 RoutingPolicy::Random,

@@ -519,6 +519,7 @@ impl Runner {
             votes.extend(
                 task.responses.iter().map(|r| Vote { worker: r.worker.0, label: r.labels[rec] }),
             );
+            // clamshell-lint: allow(D006) -- a task only completes after >= 1 response, so the ballot is never empty
             finals.push(majority_vote(&votes).expect("complete task has responses"));
         }
         self.votes_scratch = votes;
@@ -589,6 +590,7 @@ impl Runner {
                 .iter()
                 .copied()
                 .min_by_key(|&a| (self.assignments[a.0 as usize].start, a))
+                // clamshell-lint: allow(D006) -- guarded above: this branch only runs when the task still has live replicas
                 .expect("non-empty active set");
             self.tasks[tid.0 as usize].active.retain(|&x| x != oldest);
             self.terminate_assignment(oldest, finisher);
@@ -810,6 +812,7 @@ impl Runner {
             }
             self.maintainer.note_eviction();
             self.evicted_this_boundary += 1;
+            // clamshell-lint: allow(D006) -- the eviction loop bound is min(evictions, reserve.len()), so the reserve cannot be empty here
             let replacement = self.reserve.pop_front().expect("checked non-empty");
             self.join_pool(replacement);
         }

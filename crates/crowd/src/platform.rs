@@ -153,6 +153,7 @@ impl SimPlatform {
         if let Some(fs) = &mut self.faults {
             profile = fs.overlay_profile(profile);
         }
+        // clamshell-lint: allow(D004) -- per-worker fork: WorkerIds are unique by construction and the label namespace is this platform's own stream
         let rng = self.rng.fork(id.0 as u64);
         self.workers.push(RegisteredWorker { profile, rng });
         id
@@ -162,6 +163,7 @@ impl SimPlatform {
     /// experiments).
     pub fn register_worker(&mut self, profile: WorkerProfile) -> WorkerId {
         let id = WorkerId(self.workers.len() as u32);
+        // clamshell-lint: allow(D004) -- per-worker fork: WorkerIds are unique by construction and the label namespace is this platform's own stream
         let rng = self.rng.fork(id.0 as u64);
         self.workers.push(RegisteredWorker { profile, rng });
         id

@@ -1,0 +1,6 @@
+//! A fully clean fixture workspace: exit code 0, even with
+//! `--deny-warnings`.
+
+pub fn stable_sum(xs: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    xs.values().sum()
+}

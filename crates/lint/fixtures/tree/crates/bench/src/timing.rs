@@ -1,0 +1,6 @@
+//! Bench-crate fixture: wall-clock reads are the whole point here, so
+//! D002 does not apply inside `crates/bench`.
+
+pub fn stopwatch() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,28 @@
+//! D001 fixture: hash-ordered collections in deterministic lib code.
+
+pub fn bad_iteration(m: &std::collections::HashMap<u32, u32>) -> u32 {
+    m.values().sum()
+}
+
+// clamshell-lint: allow(D001) -- contents are drained into a sorted Vec before any order-sensitive use
+pub fn allowed(m: &std::collections::HashSet<u32>) -> usize {
+    m.len()
+}
+
+pub fn fine(m: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    m.values().sum()
+}
+
+pub fn strings_do_not_count() -> &'static str {
+    "a HashMap mentioned in a string is not a violation"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_region_is_exempt() {
+        let mut s = std::collections::HashSet::new();
+        s.insert(1);
+        assert_eq!(s.len(), 1);
+    }
+}

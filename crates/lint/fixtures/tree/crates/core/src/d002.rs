@@ -1,0 +1,10 @@
+//! D002 fixture: wall-clock reads outside crates/bench.
+
+pub fn bad_timing() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn allowed() -> std::time::SystemTime {
+    // clamshell-lint: allow(D002) -- diagnostic-only timestamp, never reaches a report byte
+    std::time::SystemTime::now()
+}

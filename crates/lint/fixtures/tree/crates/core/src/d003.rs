@@ -1,0 +1,10 @@
+//! D003 fixture: environment reads outside the sanctioned ingress points.
+
+pub fn bad_env() -> Option<String> {
+    std::env::var("SOME_KNOB").ok()
+}
+
+pub fn allowed() -> bool {
+    // clamshell-lint: allow(D003) -- debug-only toggle that cannot change simulation output
+    std::env::var_os("DEBUG_DUMP").is_some()
+}

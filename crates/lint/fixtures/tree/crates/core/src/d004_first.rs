@@ -1,0 +1,20 @@
+//! D004 fixture, file 1 of 2: the label here collides with a label
+//! declared in `crates/crowd/src/d004_second.rs` (cross-file check).
+
+pub const FIX_STREAM_A: u64 = 0x00AB;
+
+pub fn duplicated_label(seed: u64) -> Rng {
+    fault_stream(seed, FIX_STREAM_A)
+}
+
+pub fn dynamic_label(seed: u64, runtime_label: u64) -> Rng {
+    fault_stream(seed, runtime_label)
+}
+
+pub fn dynamic_fork(rng: &mut Rng, id: u64) -> Rng {
+    rng.fork(id * 2)
+}
+
+pub fn literal_fork_is_fine(rng: &mut Rng) -> Rng {
+    rng.fork(7)
+}

@@ -1,0 +1,14 @@
+//! D005 fixture: unsafe without a SAFETY comment.
+
+pub fn bad(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn good(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads (checked at every call site).
+    unsafe { *p }
+}
+
+pub fn allowed(p: *const u8) -> u8 {
+    unsafe { *p } // clamshell-lint: allow(D005) -- suppression witness for the self-test
+}

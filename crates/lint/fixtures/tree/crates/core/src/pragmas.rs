@@ -1,0 +1,16 @@
+//! Pragma edge-case fixture: malformed, unknown, and stale pragmas are
+//! warnings in their own right, so the allowlist cannot rot silently.
+
+pub fn noop() {}
+
+// clamshell-lint: allow(D001)
+pub fn missing_reason() {}
+
+// clamshell-lint: allow(D999) -- no such rule id
+pub fn unknown_rule() {}
+
+// clamshell-lint: deny(D001) -- wrong verb
+pub fn malformed_verb() {}
+
+// clamshell-lint: allow(D002) -- nothing on the next line uses a clock
+pub fn unused_allow() {}

@@ -1,0 +1,26 @@
+//! D006 fixture: this path shadows the hot-path file name
+//! `crates/core/src/runner.rs`, so the unwrap/expect ban applies.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("always set")
+}
+
+pub fn poison_idiom_is_exempt(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn allowed(v: Option<u32>) -> u32 {
+    v.unwrap() // clamshell-lint: allow(D006) -- invariant: caller checked is_some
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

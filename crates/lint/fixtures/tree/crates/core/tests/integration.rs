@@ -1,0 +1,11 @@
+//! Integration-test fixture: whole-file test sources are exempt from
+//! the library-code rules.
+
+use std::collections::HashMap;
+
+#[test]
+fn hash_collections_are_fine_in_tests() {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    assert_eq!(m[&1], 2);
+}

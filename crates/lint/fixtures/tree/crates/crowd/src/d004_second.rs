@@ -1,0 +1,17 @@
+//! D004 fixture, file 2 of 2: same label value as
+//! `crates/core/src/d004_first.rs` under a different const name.
+
+const FIX_STREAM_B: u64 = 0x00AB;
+
+pub fn duplicated_label(seed: u64) -> Rng {
+    fault_stream(seed, FIX_STREAM_B)
+}
+
+pub fn suppressed_dynamic(seed: u64) -> Rng {
+    // clamshell-lint: allow(D004) -- label is seed-derived and unique per run by construction
+    fault_stream(seed, seed + 1)
+}
+
+pub fn unique_label(seed: u64) -> Rng {
+    fault_stream(seed, 0x00AC)
+}

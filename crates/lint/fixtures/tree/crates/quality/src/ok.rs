@@ -1,0 +1,11 @@
+//! Clean fixture: order-stable structures and no contract violations.
+
+use std::collections::BTreeMap;
+
+pub fn histogram(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut h = BTreeMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}

@@ -1,0 +1,5 @@
+//! D006 fixture: every file under `crates/sweep/src/` is hot-path.
+
+pub fn bad_expect(r: Result<u32, String>) -> u32 {
+    r.expect("job completed")
+}

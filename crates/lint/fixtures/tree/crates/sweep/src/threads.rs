@@ -1,0 +1,6 @@
+//! Sanctioned-ingress fixture: this path (`crates/sweep/src/threads.rs`)
+//! may read the environment without tripping D003.
+
+pub fn sanctioned() -> Option<String> {
+    std::env::var("CLAMSHELL_THREADS").ok()
+}

@@ -1,0 +1,6 @@
+//! A warnings-only fixture workspace: exit 0 by default, exit 1 under
+//! `--deny-warnings` (D006 is a warning-severity rule).
+
+pub fn hot_path_expect(r: Result<u32, String>) -> u32 {
+    r.expect("completed")
+}

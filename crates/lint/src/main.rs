@@ -1,0 +1,130 @@
+//! CLI for the workspace determinism linter.
+//!
+//! Exit codes: `0` clean (warnings allowed unless `--deny-warnings`),
+//! `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+clamshell-lint — workspace determinism linter (rule catalog in ARCHITECTURE.md)
+
+USAGE:
+    clamshell-lint --workspace [OPTIONS]
+    clamshell-lint [OPTIONS] <FILE.rs>...
+
+OPTIONS:
+    --workspace        lint every workspace crate's sources
+    --format <fmt>     output format: text (default) or json
+    --deny-warnings    treat warnings as fatal (exit 1)
+    --root <dir>       workspace root (default: nearest ancestor whose
+                       Cargo.toml declares [workspace])
+    -h, --help         print this help
+
+EXIT CODES:
+    0  no violations (warnings tolerated unless --deny-warnings)
+    1  violations found
+    2  usage or I/O error
+
+Suppress a finding only with a reasoned inline pragma:
+    // clamshell-lint: allow(D004) -- why this specific use is sound
+";
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    deny_warnings: bool,
+    root: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+enum Parsed {
+    Run(Args),
+    Help,
+    Error(String),
+}
+
+fn parse_args(argv: &[String]) -> Parsed {
+    let mut args =
+        Args { workspace: false, json: false, deny_warnings: false, root: None, paths: Vec::new() };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--deny-warnings" => args.deny_warnings = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => args.json = false,
+                Some("json") => args.json = true,
+                Some(other) => return Parsed::Error(format!("unknown format `{other}`")),
+                None => return Parsed::Error("--format requires a value (text|json)".into()),
+            },
+            "--root" => match it.next() {
+                Some(dir) => args.root = Some(PathBuf::from(dir)),
+                None => return Parsed::Error("--root requires a directory".into()),
+            },
+            "-h" | "--help" => return Parsed::Help,
+            flag if flag.starts_with('-') => {
+                return Parsed::Error(format!("unknown flag `{flag}`"))
+            }
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    if args.workspace && !args.paths.is_empty() {
+        return Parsed::Error("--workspace and explicit file paths are mutually exclusive".into());
+    }
+    if !args.workspace && args.paths.is_empty() {
+        return Parsed::Error("nothing to lint: pass --workspace or file paths".into());
+    }
+    Parsed::Run(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Parsed::Help => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Parsed::Error(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        Parsed::Run(args) => args,
+    };
+
+    let root = match args.root.clone().or_else(|| {
+        std::env::current_dir().ok().and_then(|d| clamshell_lint::discover::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: could not locate a workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = if args.workspace {
+        clamshell_lint::lint_root(&root)
+    } else {
+        clamshell_lint::lint_paths(&root, &args.paths)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    let failing = report.errors() > 0 || (args.deny_warnings && report.warnings() > 0);
+    if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

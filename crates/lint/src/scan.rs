@@ -1,0 +1,559 @@
+//! Lexical scanning: comment/string stripping, `#[cfg(test)]` region
+//! tracking, and suppression-pragma parsing.
+//!
+//! The linter is deliberately a line/token-level tool — no `syn`, no
+//! proc-macro machinery, consistent with the workspace's offline,
+//! dependency-free policy. This module does the minimal lexical work the
+//! rules need to avoid false positives: tokens inside string literals,
+//! char literals, and comments must never trip a rule, and code under
+//! `#[cfg(test)]` is exempt from most of the catalog.
+
+/// Classification of a source line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Library / binary code: the determinism contract applies.
+    Lib,
+    /// Inside a `#[cfg(test)]` item (or following a `#[test]` attribute).
+    Test,
+}
+
+/// A scanned line. `code` has comments removed and string / char literal
+/// *contents* blanked with spaces (delimiters kept), so substring and
+/// token searches only ever see real code. `comment` holds the text of
+/// any comment on the line (used for pragma and `// SAFETY:` detection).
+#[derive(Debug)]
+pub struct Line {
+    pub code: String,
+    pub comment: String,
+    pub region: Region,
+}
+
+impl Line {
+    /// A line carrying a comment but no code (a standalone pragma on
+    /// such a line applies to the next code line).
+    pub fn comment_only(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+}
+
+/// A well-formed suppression pragma:
+/// `// clamshell-lint: allow(D001) -- reason`.
+#[derive(Debug)]
+pub struct Pragma {
+    /// 1-based line the pragma appears on.
+    pub line: usize,
+    pub rule: String,
+    pub reason: String,
+    /// On a comment-only line (applies to the next code line) vs
+    /// trailing a code line (applies to that line).
+    pub standalone: bool,
+}
+
+/// A malformed or unknown pragma; reported as its own warning so typos
+/// cannot silently disable enforcement.
+#[derive(Debug)]
+pub struct PragmaIssue {
+    pub line: usize,
+    /// `P001` (malformed / missing reason) or `P002` (unknown rule id).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct Scanned {
+    pub lines: Vec<Line>,
+    pub pragmas: Vec<Pragma>,
+    pub issues: Vec<PragmaIssue>,
+}
+
+/// The comment marker that introduces a pragma.
+pub const PRAGMA_MARKER: &str = "clamshell-lint:";
+
+pub fn scan(src: &str, known_rules: &[&str]) -> Scanned {
+    let mut lines = strip(src);
+    mark_regions(&mut lines);
+    let (pragmas, issues) = parse_pragmas(&lines, known_rules);
+    Scanned { lines, pragmas, issues }
+}
+
+impl Scanned {
+    /// The pragma suppressing `rule` at 1-based `line`, if any: a
+    /// trailing pragma on the line itself, or a standalone pragma on the
+    /// immediately preceding run of comment-only lines.
+    pub fn suppressor(&self, line: usize, rule: &str) -> Option<&Pragma> {
+        if let Some(p) =
+            self.pragmas.iter().find(|p| p.line == line && !p.standalone && p.rule == rule)
+        {
+            return Some(p);
+        }
+        // Walk up through comment-only lines (a stack of standalone
+        // pragmas may precede one code line).
+        let mut at = line;
+        while at >= 2 && self.lines[at - 2].comment_only() {
+            at -= 1;
+            if let Some(p) =
+                self.pragmas.iter().find(|p| p.line == at && p.standalone && p.rule == rule)
+            {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Does the line itself, or the contiguous run of comment-only
+    /// lines directly above it, contain a `SAFETY:` marker? (Used by
+    /// D005; the comment block may be arbitrarily long.)
+    pub fn has_safety_comment(&self, line: usize) -> bool {
+        if self.lines[line - 1].comment.contains("SAFETY:") {
+            return true;
+        }
+        let mut at = line;
+        while at >= 2 && self.lines[at - 2].comment_only() {
+            at -= 1;
+            if self.lines[at - 1].comment.contains("SAFETY:") {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stripping
+// ---------------------------------------------------------------------
+
+enum State {
+    Normal,
+    /// `bool`: doc comment (`///` or `//!`) — doc text is *not* captured,
+    /// so prose showing pragma syntax can never act as a pragma.
+    LineComment(bool),
+    BlockComment(u32, bool),
+    Str,
+    RawStr(usize),
+}
+
+/// Split `src` into lines with comments removed and literal contents
+/// blanked. Handles nested block comments, escapes, byte/raw strings
+/// (`b"…"`, `r"…"`, `r#"…"#`), char literals, and lifetimes.
+fn strip(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Normal;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if let State::LineComment(_) = state {
+                state = State::Normal;
+            }
+            out.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                region: Region::Lib,
+            });
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                if c == '/' && next == Some('/') {
+                    let doc = matches!(chars.get(i + 2), Some('/') | Some('!'))
+                        && chars.get(i + 3) != Some(&'/');
+                    state = State::LineComment(doc);
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    let doc = matches!(chars.get(i + 2), Some('*') | Some('!'))
+                        && chars.get(i + 3) != Some(&'/');
+                    state = State::BlockComment(1, doc);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if let Some(hashes) = raw_string_at(&chars, i) {
+                    code.push('"');
+                    state = State::RawStr(hashes);
+                    // skip the prefix (r / br), the hashes, and the quote
+                    let prefix = if c == 'b' { 2 } else { 1 };
+                    i += prefix + hashes + 1;
+                } else if c == 'b' && next == Some('"') && !prev_is_ident(&chars, i) {
+                    code.push('"');
+                    state = State::Str;
+                    i += 2;
+                } else if c == '\'' || (c == 'b' && next == Some('\'') && !prev_is_ident(&chars, i))
+                {
+                    i = skip_char_or_lifetime(&chars, i, &mut code);
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment(doc) => {
+                if !doc {
+                    comment.push(c);
+                }
+                i += 1;
+            }
+            State::BlockComment(depth, doc) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1, doc);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1, doc)
+                    };
+                    i += 2;
+                } else {
+                    if !doc {
+                        comment.push(c);
+                    }
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"'
+                    && chars[i + 1..].iter().take(hashes).filter(|&&h| h == '#').count() == hashes
+                {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        out.push(Line { code, comment, region: Region::Lib });
+    }
+    out
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If position `i` starts a raw string literal (`r"`, `r#"`, `br#"`, …),
+/// the number of `#`s; else `None`.
+fn raw_string_at(chars: &[char], i: usize) -> Option<usize> {
+    if prev_is_ident(chars, i) {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Consume a char literal (blanked) or a lifetime (kept) starting at the
+/// `'` (or `b'`); returns the next index.
+fn skip_char_or_lifetime(chars: &[char], i: usize, code: &mut String) -> usize {
+    let start = if chars[i] == 'b' { i + 1 } else { i };
+    debug_assert_eq!(chars[start], '\'');
+    match chars.get(start + 1) {
+        Some('\\') => {
+            // Escaped char literal: blank through the closing quote.
+            let mut j = start + 2;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            for _ in i..=j.min(chars.len() - 1) {
+                code.push(' ');
+            }
+            j + 1
+        }
+        Some(_) if chars.get(start + 2) == Some(&'\'') => {
+            // Simple char literal 'x' (or b'x').
+            for _ in 0..(start + 3 - i) {
+                code.push(' ');
+            }
+            start + 3
+        }
+        _ => {
+            // A lifetime (or stray quote): keep it as code.
+            code.push('\'');
+            i + 1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regions
+// ---------------------------------------------------------------------
+
+/// Mark every line inside a `#[cfg(test)]` item (or after a `#[test]`
+/// attribute) as [`Region::Test`] by tracking brace depth on the
+/// stripped code.
+fn mark_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut stack: Vec<i64> = Vec::new();
+    for line in lines.iter_mut() {
+        if line.code.contains("#[cfg(test)]")
+            || line.code.contains("cfg(all(test")
+            || line.code.trim() == "#[test]"
+        {
+            pending = true;
+        }
+        line.region = if pending || !stack.is_empty() { Region::Test } else { Region::Lib };
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        stack.push(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if stack.last() == Some(&depth) {
+                        stack.pop();
+                    }
+                    depth -= 1;
+                }
+                // `#[cfg(test)] mod tests;` / `#[cfg(test)] use …;`:
+                // the attribute covers one item that ended without a
+                // block, so stop pending at the semicolon.
+                ';' => pending = false,
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------
+
+fn parse_pragmas(lines: &[Line], known_rules: &[&str]) -> (Vec<Pragma>, Vec<PragmaIssue>) {
+    let mut pragmas = Vec::new();
+    let mut issues = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let no = idx + 1;
+        let Some(pos) = line.comment.find(PRAGMA_MARKER) else { continue };
+        let rest = line.comment[pos + PRAGMA_MARKER.len()..].trim();
+        let Some(open) = rest.strip_prefix("allow(") else {
+            issues.push(PragmaIssue {
+                line: no,
+                rule: "P001",
+                message: format!("malformed pragma: expected `allow(<rule>)`, found `{rest}`"),
+            });
+            continue;
+        };
+        let Some(close) = open.find(')') else {
+            issues.push(PragmaIssue {
+                line: no,
+                rule: "P001",
+                message: "malformed pragma: unclosed `allow(`".into(),
+            });
+            continue;
+        };
+        let rule = open[..close].trim();
+        if !known_rules.contains(&rule) {
+            issues.push(PragmaIssue {
+                line: no,
+                rule: "P002",
+                message: format!("unknown rule id `{rule}` in allow pragma"),
+            });
+            continue;
+        }
+        let tail = open[close + 1..].trim();
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            issues.push(PragmaIssue {
+                line: no,
+                rule: "P001",
+                message: format!("pragma for {rule} is missing its `-- <reason>`"),
+            });
+            continue;
+        }
+        pragmas.push(Pragma {
+            line: no,
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+            standalone: line.comment_only(),
+        });
+    }
+    (pragmas, issues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["D001", "D002"];
+
+    fn codes(src: &str) -> Vec<String> {
+        strip(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let c = codes("let x = \"HashMap // not a comment\"; // HashMap\nuse HashMap;");
+        assert!(!c[0].contains("HashMap"), "{:?}", c[0]);
+        assert!(c[0].contains("let x = "), "{:?}", c[0]);
+        assert!(c[1].contains("HashMap"));
+    }
+
+    #[test]
+    fn comment_text_is_captured() {
+        let lines = strip("let a = 1; // SAFETY: fine\n/* block HashMap */ let b = 2;");
+        assert!(lines[0].comment.contains("SAFETY: fine"));
+        assert!(lines[1].comment.contains("block HashMap"));
+        assert!(lines[1].code.contains("let b = 2"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_multiline_strings() {
+        let src =
+            "/* outer /* inner */ still comment */ code1\nlet s = \"line1\nline2 HashMap\"; code2";
+        let c = codes(src);
+        assert!(c[0].contains("code1"));
+        assert!(!c[0].contains("outer"));
+        assert!(!c[1].contains("line2"));
+        assert!(c[2].contains("code2"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let c = codes("let s = r#\"HashMap \" inside\"#; after();");
+        assert!(!c[0].contains("HashMap"), "{:?}", c[0]);
+        assert!(c[0].contains("after()"), "{:?}", c[0]);
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let c = codes("let c = '{'; fn f<'a>(x: &'a str) {}");
+        assert!(!c[0].contains('{') || c[0].matches('{').count() == 1, "{:?}", c[0]);
+        assert!(c[0].contains("'a"), "{:?}", c[0]);
+        // The blanked '{' must not break brace tracking:
+        let mut lines = strip("let c = '{';\n#[cfg(test)]\nmod t {\n    x();\n}\nafter();");
+        mark_regions(&mut lines);
+        assert_eq!(lines[3].region, Region::Test);
+        assert_eq!(lines[5].region, Region::Lib);
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn lib2() {}";
+        let mut lines = strip(src);
+        mark_regions(&mut lines);
+        let regions: Vec<Region> = lines.iter().map(|l| l.region).collect();
+        assert_eq!(regions[0], Region::Lib);
+        assert_eq!(regions[2], Region::Test);
+        assert_eq!(regions[3], Region::Test);
+        assert_eq!(regions[5], Region::Lib);
+    }
+
+    #[test]
+    fn cfg_test_use_item_is_test_region() {
+        let src = "#[cfg(test)] use std::collections::HashSet;\nfn lib() {}";
+        let mut lines = strip(src);
+        mark_regions(&mut lines);
+        assert_eq!(lines[0].region, Region::Test);
+        assert_eq!(lines[1].region, Region::Lib);
+    }
+
+    #[test]
+    fn trailing_and_standalone_pragmas() {
+        let src = "// clamshell-lint: allow(D001) -- frozen order\nuse x;\nuse y; // clamshell-lint: allow(D002) -- no clock";
+        let s = scan(src, RULES);
+        assert_eq!(s.pragmas.len(), 2);
+        assert!(s.suppressor(2, "D001").is_some());
+        assert!(s.suppressor(2, "D002").is_none());
+        assert!(s.suppressor(3, "D002").is_some());
+        assert!(s.suppressor(3, "D001").is_none());
+    }
+
+    #[test]
+    fn stacked_standalone_pragmas_reach_the_code_line() {
+        let src =
+            "// clamshell-lint: allow(D001) -- a\n// clamshell-lint: allow(D002) -- b\nuse x;";
+        let s = scan(src, RULES);
+        assert!(s.suppressor(3, "D001").is_some());
+        assert!(s.suppressor(3, "D002").is_some());
+    }
+
+    #[test]
+    fn pragma_missing_reason_is_an_issue() {
+        let s = scan("use x; // clamshell-lint: allow(D001)", RULES);
+        assert!(s.pragmas.is_empty());
+        assert_eq!(s.issues.len(), 1);
+        assert_eq!(s.issues[0].rule, "P001");
+        assert!(s.issues[0].message.contains("missing"), "{}", s.issues[0].message);
+    }
+
+    #[test]
+    fn pragma_unknown_rule_is_an_issue() {
+        let s = scan("use x; // clamshell-lint: allow(D999) -- because", RULES);
+        assert!(s.pragmas.is_empty());
+        assert_eq!(s.issues[0].rule, "P002");
+    }
+
+    #[test]
+    fn pragma_wrong_verb_is_an_issue() {
+        let s = scan("use x; // clamshell-lint: deny(D001) -- nope", RULES);
+        assert_eq!(s.issues[0].rule, "P001");
+    }
+
+    #[test]
+    fn blank_line_breaks_standalone_pragma_chain() {
+        let src = "// clamshell-lint: allow(D001) -- a\n\nuse x;";
+        let s = scan(src, RULES);
+        assert!(s.suppressor(3, "D001").is_none());
+    }
+
+    #[test]
+    fn doc_comments_cannot_carry_pragmas() {
+        let src = "/// syntax: `// clamshell-lint: allow(D001) -- reason`\n//! also `// clamshell-lint: allow(D002) -- x`\nfn f() {}\n";
+        let s = scan(src, RULES);
+        assert!(s.pragmas.is_empty(), "{:?}", s.pragmas);
+        assert!(s.issues.is_empty(), "{:?}", s.issues);
+    }
+
+    #[test]
+    fn safety_comment_window() {
+        let src = "// SAFETY: checked\nunsafe { x() }\n\n\nunsafe { y() }";
+        let s = scan(src, RULES);
+        assert!(s.has_safety_comment(2));
+        assert!(!s.has_safety_comment(5));
+    }
+
+    #[test]
+    fn safety_comment_found_through_long_comment_block() {
+        let src =
+            "// SAFETY: a long explanation\n// that continues\n// and continues\nunsafe { x() }";
+        let s = scan(src, RULES);
+        assert!(s.has_safety_comment(4));
+    }
+}

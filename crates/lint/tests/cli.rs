@@ -1,0 +1,125 @@
+//! CLI contract tests: exit codes, flag parsing, and JSON schema
+//! stability, driven through the real binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_clamshell-lint"))
+}
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("spawn clamshell-lint")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+#[test]
+fn no_args_is_a_usage_error() {
+    let out = run(&[]);
+    assert_eq!(code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = run(&["--workspace", "--frobnicate"]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn bad_format_is_a_usage_error() {
+    let out = run(&["--workspace", "--format", "yaml"]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn workspace_and_paths_are_mutually_exclusive() {
+    let out = run(&["--workspace", "src/lib.rs"]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = run(&["--help"]);
+    assert_eq!(code(&out), 0);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clamshell-lint"));
+}
+
+#[test]
+fn bad_tree_exits_one() {
+    let root = fixture_root("tree");
+    let out = run(&["--root", root.to_str().unwrap(), "--workspace"]);
+    assert_eq!(code(&out), 1);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("D001"), "text report names the rule ids:\n{text}");
+    assert!(text.contains("files scanned"), "text report ends with a summary line:\n{text}");
+}
+
+#[test]
+fn clean_tree_exits_zero_even_with_deny_warnings() {
+    let root = fixture_root("clean");
+    let out = run(&["--root", root.to_str().unwrap(), "--workspace", "--deny-warnings"]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn warnings_gate_only_under_deny_warnings() {
+    let root = fixture_root("warnonly");
+    let plain = run(&["--root", root.to_str().unwrap(), "--workspace"]);
+    assert_eq!(code(&plain), 0, "warnings alone do not fail the run");
+    let deny = run(&["--root", root.to_str().unwrap(), "--workspace", "--deny-warnings"]);
+    assert_eq!(code(&deny), 1, "--deny-warnings promotes warnings to failures");
+}
+
+#[test]
+fn single_path_mode_lints_just_that_file() {
+    let root = fixture_root("tree");
+    let out = bin()
+        .args(["--root", root.to_str().unwrap(), "crates/core/src/d002.rs"])
+        .output()
+        .expect("spawn clamshell-lint");
+    assert_eq!(code(&out), 1);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("D002"));
+    assert!(!text.contains("D001"), "other fixture files are not scanned in path mode");
+}
+
+#[test]
+fn json_schema_is_stable() {
+    let root = fixture_root("tree");
+    let out = run(&["--root", root.to_str().unwrap(), "--workspace", "--format", "json"]);
+    assert_eq!(code(&out), 1);
+    let json = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"version\": 1",
+        "\"files_scanned\":",
+        "\"diagnostics\": [",
+        "\"suppressed\": [",
+        "\"summary\":",
+        "\"errors\":",
+        "\"warnings\":",
+        "\"rule\": \"D004\"",
+        "\"severity\": \"error\"",
+        "\"hint\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in JSON output:\n{json}");
+    }
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+}
+
+#[test]
+fn json_output_for_a_clean_tree_has_empty_arrays() {
+    let root = fixture_root("clean");
+    let out = run(&["--root", root.to_str().unwrap(), "--workspace", "--format", "json"]);
+    assert_eq!(code(&out), 0);
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"diagnostics\": []"), "got:\n{json}");
+    assert!(json.contains("\"errors\": 0"));
+}

@@ -123,6 +123,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(name)
                     .spawn(move || worker_loop(&shared))
+                    // clamshell-lint: allow(D006) -- failing to spawn a pool worker at startup is unrecoverable; fail fast
                     .expect("spawn sweep worker"),
             );
         }
@@ -173,6 +174,7 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                // clamshell-lint: allow(D006) -- condvar poison means a sibling worker panicked; propagating the panic is the contract
                 injector = shared.available.wait(injector).unwrap();
             }
         };

@@ -179,6 +179,7 @@ where
 {
     let (out, status) = execute(items, threads, &CancelToken::new(), f);
     debug_assert!(status.is_complete());
+    // clamshell-lint: allow(D006) -- a fresh CancelToken is never cancelled, so every slot is Some
     out.into_iter().map(|r| r.expect("uncancelled job must complete")).collect()
 }
 

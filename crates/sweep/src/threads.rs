@@ -1,4 +1,9 @@
 //! Thread-count resolution.
+//!
+//! This module is one of the workspace's two sanctioned
+//! process-environment ingress points (see the determinism rule catalog
+//! in ARCHITECTURE.md, rule D003): the thread count only affects
+//! wall-clock time, never output bytes, so reading it here is safe.
 
 /// Environment variable consulted when no explicit thread count is given.
 pub const THREADS_ENV: &str = "CLAMSHELL_THREADS";
@@ -8,7 +13,9 @@ pub const THREADS_ENV: &str = "CLAMSHELL_THREADS";
 /// Priority: the `explicit` argument, then the [`THREADS_ENV`]
 /// environment variable, then [`std::thread::available_parallelism`].
 /// The result is always at least 1; unparsable or zero values fall
-/// through to the next source. Because the engine merges results in
+/// through to the next source (a bad environment value additionally
+/// prints a one-line warning to stderr, once per process, instead of
+/// being silently ignored). Because the engine merges results in
 /// job-index order, the choice only affects wall-clock time, never
 /// output.
 ///
@@ -20,13 +27,39 @@ pub const THREADS_ENV: &str = "CLAMSHELL_THREADS";
 /// assert!(resolve(Some(0)) >= 1); // zero falls through
 /// ```
 pub fn resolve(explicit: Option<usize>) -> usize {
+    resolve_with(explicit, std::env::var(THREADS_ENV).ok().as_deref(), true)
+}
+
+/// [`resolve`] with the environment read factored out so the fallback
+/// logic is unit-testable without touching process state. `warn` gates
+/// the stderr message (tests pass `false` to keep output clean).
+fn resolve_with(explicit: Option<usize>, env_value: Option<&str>, warn: bool) -> usize {
     explicit
         .filter(|&n| n > 0)
-        .or_else(|| {
-            std::env::var(THREADS_ENV).ok().and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0)
-        })
+        .or_else(|| env_value.and_then(|raw| parse_env_threads(raw, warn)))
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
         .max(1)
+}
+
+/// Parse an environment-provided thread count; `None` (with a one-shot
+/// stderr warning naming the bad value) when it is not a positive
+/// integer.
+fn parse_env_threads(raw: &str, warn: bool) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            if warn {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: {THREADS_ENV}={raw:?} is not a positive integer; \
+                         falling back to available parallelism"
+                    );
+                });
+            }
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -46,5 +79,37 @@ mod tests {
     #[test]
     fn default_is_positive() {
         assert!(resolve(None) >= 1);
+    }
+
+    #[test]
+    fn env_value_is_used_when_valid() {
+        assert_eq!(resolve_with(None, Some("6"), false), 6);
+        assert_eq!(resolve_with(None, Some("  2 "), false), 2);
+    }
+
+    #[test]
+    fn explicit_beats_env() {
+        assert_eq!(resolve_with(Some(3), Some("6"), false), 3);
+    }
+
+    #[test]
+    fn unparsable_env_falls_back_to_default() {
+        for bad in ["four", "", "-2", "3.5", "0"] {
+            let n = resolve_with(None, Some(bad), false);
+            assert!(n >= 1, "fallback for {bad:?} must be positive, got {n}");
+            // The bad value must not sneak in as a thread count.
+            assert_eq!(
+                n,
+                resolve_with(None, None, false),
+                "bad env value {bad:?} must behave exactly like an unset variable"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_values_are_rejected_by_the_parser() {
+        assert_eq!(parse_env_threads("four", false), None);
+        assert_eq!(parse_env_threads("0", false), None);
+        assert_eq!(parse_env_threads("8", false), Some(8));
     }
 }
