@@ -18,7 +18,7 @@
 //! results in job-index order, so stdout is byte-identical at any
 //! thread count.
 
-use clamshell_bench::{registry, util::Opts};
+use clamshell_bench::{extra_registry, registry, util::Opts};
 
 /// Usage text shared by `--help` and the no-argument listing.
 const USAGE: &str = "\
@@ -128,9 +128,14 @@ fn main() {
     }
 
     let all = registry();
+    let extra = extra_registry();
     if list || (!run_all && picked.is_empty()) {
         println!("experiments ({} total):", all.len());
         for (name, desc, _) in &all {
+            println!("  {name:<10} {desc}");
+        }
+        println!("\nextra experiments (run by name; not part of --all):");
+        for (name, desc, _) in &extra {
             println!("  {name:<10} {desc}");
         }
         println!("\n{USAGE}");
@@ -141,6 +146,14 @@ fn main() {
     let mut ran = 0;
     for (name, _, f) in &all {
         if run_all || picked.iter().any(|p| p == name) {
+            f(&opts);
+            ran += 1;
+        }
+    }
+    // Extras never ride on --all (its stdout is the recorded
+    // EXPERIMENTS.md transcript); they only run when named.
+    for (name, _, f) in &extra {
+        if picked.iter().any(|p| p == name) {
             f(&opts);
             ran += 1;
         }

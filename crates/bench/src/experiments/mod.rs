@@ -4,6 +4,7 @@ pub mod adversity;
 pub mod combine;
 pub mod learning;
 pub mod maintenance;
+pub mod pool_lifecycle;
 pub mod straggler;
 pub mod tables;
 pub mod trace;

@@ -84,3 +84,14 @@ pub fn registry() -> Vec<Experiment> {
         ),
     ]
 }
+
+/// Experiments that postdate the recorded `--all` transcript in
+/// EXPERIMENTS.md: runnable by name and shown by `--list`, but excluded
+/// from `--all` so its stdout stays byte-stable.
+pub fn extra_registry() -> Vec<Experiment> {
+    vec![(
+        "pool_lifecycle",
+        "Pool checkout strategies, idle timeouts & generations per scenario",
+        exp::pool_lifecycle::pool_lifecycle as fn(&util::Opts),
+    )]
+}

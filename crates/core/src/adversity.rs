@@ -170,6 +170,8 @@ pub(crate) mod streams {
     pub const CHURN: u64 = 0xC0DE_0001;
     /// Burst size draws.
     pub const BURSTS: u64 = 0xC0DE_0002;
+    /// Reserve idle-timeout jitter (pool lifecycle).
+    pub const POOL_IDLE: u64 = 0xC0DE_0003;
 }
 
 #[cfg(test)]

@@ -163,6 +163,8 @@ pub fn run_open_market(
         workers_recruited: platform.workers_recruited(),
         workers_evicted: 0,
         workers_departed: 0,
+        reserve_expired: 0,
+        stale_retired: 0,
         started: SimTime::ZERO,
         finished,
     }

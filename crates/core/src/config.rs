@@ -13,6 +13,8 @@ use crate::lifeguard::RoutingPolicy;
 use clamshell_crowd::PlatformConfig;
 use serde::{Deserialize, Serialize};
 
+pub use clamshell_crowd::{CheckoutStrategy, PoolConfig};
+
 /// How straggler mitigation interacts with redundancy-based quality
 /// control (§4.1 "Working with Quality Control").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -139,6 +141,10 @@ pub struct RunConfig {
     pub straggler: Option<StragglerConfig>,
     /// Pool maintenance; `None` disables (PM∞).
     pub maintenance: Option<MaintenanceConfig>,
+    /// Retainer-pool lifecycle knobs (replenishment floor, checkout
+    /// strategy, reserve idle timeout, blackout generations). The default
+    /// is inert: runs are byte-identical to the pre-lifecycle pool.
+    pub pool: PoolConfig,
     /// Whether pool members abandon when idle past their patience.
     pub churn: bool,
     /// Platform mechanism parameters (pay rates, overheads).
@@ -161,6 +167,7 @@ impl Default for RunConfig {
             quorum: 1,
             straggler: None,
             maintenance: None,
+            pool: PoolConfig::default(),
             churn: true,
             platform: PlatformConfig::default(),
             adversity: None,
@@ -180,6 +187,12 @@ impl RunConfig {
             assert!(m.threshold_per_label_secs > 0.0, "PMl must be positive");
             assert!((0.0..1.0).contains(&m.alpha), "alpha in (0,1)");
             assert!(m.termest_alpha >= 0.0, "termest alpha >= 0");
+        }
+        if let Some(min) = self.pool.min_size {
+            assert!((1..=self.pool_size).contains(&min), "pool.min_size must be in 1..=pool_size");
+        }
+        if let Some(t) = self.pool.idle_timeout {
+            assert!(t > clamshell_sim::time::SimDuration::ZERO, "pool.idle_timeout must be > 0");
         }
         if let Some(a) = &self.adversity {
             a.validate();
@@ -208,6 +221,12 @@ impl RunConfig {
     /// Convenience: enable PM8 pool maintenance.
     pub fn with_maintenance(mut self) -> Self {
         self.maintenance = Some(MaintenanceConfig::pm8());
+        self
+    }
+
+    /// Convenience: set the pool lifecycle knobs.
+    pub fn with_pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = pool;
         self
     }
 }
@@ -252,5 +271,44 @@ mod tests {
         let m = MaintenanceConfig::pm8();
         assert_eq!(m.threshold_per_label_secs, 8.0);
         assert!(m.use_termest);
+    }
+
+    #[test]
+    fn pool_lifecycle_knobs_validate() {
+        RunConfig {
+            pool_size: 8,
+            pool: PoolConfig {
+                min_size: Some(4),
+                strategy: CheckoutStrategy::Lifo,
+                idle_timeout: Some(clamshell_sim::time::SimDuration::from_secs(60)),
+                generations: true,
+            },
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn pool_min_size_above_pool_size_rejected() {
+        RunConfig {
+            pool_size: 4,
+            pool: PoolConfig { min_size: Some(5), ..Default::default() },
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_idle_timeout_rejected() {
+        RunConfig {
+            pool: PoolConfig {
+                idle_timeout: Some(clamshell_sim::time::SimDuration::ZERO),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .validate();
     }
 }

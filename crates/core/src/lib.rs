@@ -51,7 +51,10 @@ pub mod task;
 
 pub use adversity::{AdversityConfig, BurstFault, ChurnFault, OutageFault};
 pub use batcher::{Batcher, BatcherConfig};
-pub use config::{MaintenanceConfig, MaintenanceObjective, QcMode, RunConfig, StragglerConfig};
+pub use config::{
+    CheckoutStrategy, MaintenanceConfig, MaintenanceObjective, PoolConfig, QcMode, RunConfig,
+    StragglerConfig,
+};
 pub use learning::{LearningConfig, LearningOutcome, LearningRunner, Strategy};
 pub use lifeguard::RoutingPolicy;
 pub use metrics::{BatchStats, RunReport};

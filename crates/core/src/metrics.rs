@@ -107,6 +107,12 @@ pub struct RunReport {
     /// Workers who walked out mid-assignment (adversity churn); always 0
     /// on benign runs.
     pub workers_departed: u64,
+    /// Reserve workers released by the pool idle timeout; always 0 unless
+    /// `RunConfig::pool.idle_timeout` is set.
+    pub reserve_expired: u64,
+    /// Stale members lazily retired at checkout after a generation bump;
+    /// always 0 unless `RunConfig::pool.generations` is on.
+    pub stale_retired: u64,
     /// Run start (first batch dispatch).
     pub started: SimTime,
     /// Run end (last task completion).
@@ -270,6 +276,8 @@ mod tests {
             workers_recruited: 4,
             workers_evicted: 1,
             workers_departed: 0,
+            reserve_expired: 0,
+            stale_retired: 0,
             started: t(0),
             finished: t(25),
         }

@@ -48,9 +48,12 @@ impl PoolModel {
         self.mu_f
     }
 
-    /// The initial pool mean `(1−q)·μ_f + q·μ_s`.
+    /// The initial pool mean `(1−q)·μ_f + q·μ_s`, i.e. `expected_mpl(0)`.
+    /// The constructor enforces `μ_s ≥ μ_f`, so this is always ≥ `μ_f` —
+    /// the identity is asserted in the tests rather than clamped here,
+    /// where a clamp would silently mask a broken `expected_mpl(0)`.
     pub fn initial(&self) -> f64 {
-        self.expected_mpl(0).max(self.mu_f) // n = 0 gives (1-q)μf + qμs already
+        self.expected_mpl(0)
     }
 
     /// Number of maintenance steps until the expected MPL is within
@@ -125,5 +128,19 @@ mod tests {
     #[should_panic]
     fn rejects_bad_order() {
         let _ = PoolModel::new(0.5, 10.0, 2.0);
+    }
+
+    #[test]
+    fn initial_is_expected_mpl_zero_and_at_least_the_limit() {
+        // `initial()` must be exactly the n = 0 point of the curve, and
+        // the constructor's μs ≥ μf invariant already guarantees it is at
+        // or above the asymptote — no clamp needed to hold the identity.
+        for &(q, mu_f, mu_s) in
+            &[(0.0, 2.0, 10.0), (0.4, 2.0, 10.0), (1.0, 2.0, 10.0), (0.7, 3.0, 3.0)]
+        {
+            let m = PoolModel::new(q, mu_f, mu_s);
+            assert_eq!(m.initial(), m.expected_mpl(0));
+            assert!(m.initial() >= m.limit() - 1e-12);
+        }
     }
 }

@@ -43,6 +43,9 @@ enum Event {
     /// Adversity churn: the assignment's worker walks out mid-task,
     /// abandoning both the assignment and their retainer slot.
     Walkout(AssignmentId),
+    /// Pool lifecycle: a reserve worker's idle timeout elapsed; if they
+    /// are still in the reserve they are paid off and released.
+    ReserveTimeout(WorkerId),
     /// Clock marker used by [`Runner::advance`]; no state change.
     Nop,
 }
@@ -91,6 +94,18 @@ pub struct Runner {
     /// Workers who walked out mid-assignment.
     workers_departed: u64,
 
+    // Pool lifecycle state (all inert at the default `PoolConfig`).
+    /// Reserve idle timeout and its dedicated jitter stream; `Some` only
+    /// when `cfg.pool.idle_timeout` is set, so benign runs draw nothing.
+    pool_idle: Option<(SimDuration, Rng)>,
+    /// End of the last outage window that bumped the pool generation
+    /// (guards against bumping once per deferred event).
+    last_outage_end: SimTime,
+    /// Reserve workers released by the idle timeout.
+    reserve_expired: u64,
+    /// Stale members lazily retired at checkout after a generation bump.
+    stale_retired: u64,
+
     // Reused scratch buffers for the per-assignment hot path. Each is
     // cleared before use; holding them on the runner means the event loop
     // stops allocating once the high-water marks are reached.
@@ -125,7 +140,9 @@ impl Runner {
                 SimDuration::from_secs_f64(o.mean_outage_secs),
             )
         });
-        let pool = RetainerPool::new(cfg.pool_size);
+        let pool = RetainerPool::with_config(cfg.pool_size, cfg.pool);
+        let pool_idle =
+            cfg.pool.idle_timeout.map(|t| (t, fault_stream(cfg.seed, streams::POOL_IDLE)));
         Runner {
             rng: Rng::new(cfg.seed ^ 0x9E37_79B9_7F4A_7C15),
             platform,
@@ -154,6 +171,10 @@ impl Runner {
             churn_fault,
             outage,
             workers_departed: 0,
+            pool_idle,
+            last_outage_end: SimTime::ZERO,
+            reserve_expired: 0,
+            stale_retired: 0,
             votes_scratch: Vec::new(),
             eligible_scratch: Vec::new(),
             kick_scratch: Vec::new(),
@@ -211,7 +232,7 @@ impl Runner {
     /// from the moment the first task is sent to the pool."
     pub fn warm_up(&mut self) {
         self.ensure_recruitment();
-        while self.pool.len() < self.cfg.pool_size {
+        while self.pool.len() < self.pool.fill_target() {
             self.ensure_recruitment();
             let Some((_, ev)) = self.queue.pop() else {
                 panic!("warm_up: event queue drained before pool filled");
@@ -238,11 +259,18 @@ impl Runner {
             self.batch_tasks.push(id);
         }
 
+        // When the pool runs below capacity (a `min_size` floor), promote
+        // reserve workers to cover any demand the floor can't.
+        self.surge_promote();
+
         // Kick all idle workers at the new work (snapshot into a reused
-        // scratch buffer: dispatch mutates `self.idle`).
+        // scratch buffer: dispatch mutates `self.idle`), in the
+        // configured checkout order (FIFO = id order, the historical
+        // behavior, so the default reorder is a no-op).
         let mut kick = std::mem::take(&mut self.kick_scratch);
         kick.clear();
         kick.extend(self.idle.iter().copied());
+        self.pool.order_checkouts(&mut kick);
         for &w in &kick {
             self.dispatch_worker(w);
         }
@@ -282,11 +310,18 @@ impl Runner {
                 self.platform.pay_wait(wait);
             }
         }
-        let reserve: Vec<WorkerId> = self.reserve.iter().copied().collect();
-        for w in reserve {
-            if let Some(since) = self.reserve_since.remove(&w) {
-                self.platform.pay_wait(now.since(since));
-            }
+        // Settle reserve wait from the accrual map itself, not the queue:
+        // `reserve_since` is the authoritative record of who is owed wait
+        // pay, so a future divergence between the two structures can
+        // never silently under-pay. They must agree today.
+        debug_assert_eq!(
+            self.reserve.len(),
+            self.reserve_since.len(),
+            "reserve queue and accrual map out of sync at drain"
+        );
+        let owed = std::mem::take(&mut self.reserve_since);
+        for (_, since) in owed {
+            self.platform.pay_wait(now.since(since));
         }
         RunReport {
             tasks: self.task_records,
@@ -296,6 +331,8 @@ impl Runner {
             workers_recruited: self.platform.workers_recruited(),
             workers_evicted: self.maintainer.evictions,
             workers_departed: self.workers_departed,
+            reserve_expired: self.reserve_expired,
+            stale_retired: self.stale_retired,
             started: self.started.unwrap_or(SimTime::ZERO),
             finished: self.last_completion,
         }
@@ -315,6 +352,15 @@ impl Runner {
         if let Some(sched) = &mut self.outage {
             if matches!(ev, Event::AssignmentDone(_) | Event::WorkerReady) {
                 if let Some(recovery) = sched.defer(self.queue.now()) {
+                    // Pool generations: the first deferral into each
+                    // outage window bumps the generation — an O(1)
+                    // counter increment, never a pool scan. Members from
+                    // older generations are retired lazily at their next
+                    // checkout (see `dispatch_worker`).
+                    if self.cfg.pool.generations && recovery > self.last_outage_end {
+                        self.last_outage_end = recovery;
+                        self.pool.bump_generation();
+                    }
                     self.queue.schedule(recovery, ev);
                     return;
                 }
@@ -326,6 +372,7 @@ impl Runner {
             Event::WorkerFreed(w) => self.on_worker_freed(w),
             Event::Abandon(w, epoch) => self.on_abandon(w, epoch),
             Event::Walkout(aid) => self.on_walkout(aid),
+            Event::ReserveTimeout(w) => self.on_reserve_timeout(w),
             Event::Nop => {}
         }
     }
@@ -350,12 +397,37 @@ impl Runner {
         self.recruits_in_flight = self.recruits_in_flight.saturating_sub(1);
         let w = self.platform.worker_arrives();
         let now = self.now();
-        if self.pool.vacancies() > 0 {
+        // Arrivals fill the pool to its replenishment floor; beyond that
+        // they wait in the reserve (and may be promoted by a demand
+        // surge). Without a `min_size` the floor is the capacity, which
+        // is the historical vacancy check.
+        if self.pool.len() < self.pool.fill_target() {
             self.join_pool(w);
         } else {
             self.reserve.push_back(w);
             self.reserve_since.insert(w, now);
+            if let Some((timeout, rng)) = &mut self.pool_idle {
+                // Jitter each deadline ±10% from the dedicated stream so
+                // simultaneous arrivals don't expire in lockstep.
+                let jittered = timeout.as_secs_f64() * rng.range_f64(0.9, 1.1);
+                let deadline = now + SimDuration::from_secs_f64(jittered);
+                self.queue.schedule(deadline, Event::ReserveTimeout(w));
+            }
         }
+    }
+
+    /// Release a reserve worker whose idle timeout elapsed. Stale checks
+    /// (the worker was promoted into the pool meanwhile) are no-ops:
+    /// `join_pool` removes them from `reserve_since`, and workers never
+    /// re-enter the reserve, so map membership is the liveness test.
+    fn on_reserve_timeout(&mut self, w: WorkerId) {
+        let Some(since) = self.reserve_since.remove(&w) else {
+            return;
+        };
+        self.reserve.retain(|&x| x != w);
+        let now = self.now();
+        self.platform.pay_wait(now.since(since));
+        self.reserve_expired += 1;
     }
 
     fn join_pool(&mut self, w: WorkerId) {
@@ -432,10 +504,11 @@ impl Runner {
         self.refill_vacancy();
         // The abandoned task lost coverage: point idle workers at it
         // (dispatch mutates `self.idle`, so snapshot into the reused
-        // scratch buffer first).
+        // scratch buffer first), in the configured checkout order.
         let mut kick = std::mem::take(&mut self.kick_scratch);
         kick.clear();
         kick.extend(self.idle.iter().copied());
+        self.pool.order_checkouts(&mut kick);
         for &idle_w in &kick {
             self.dispatch_worker(idle_w);
         }
@@ -663,6 +736,13 @@ impl Runner {
         if !self.pool.contains(w) {
             return;
         }
+        // Lazy generation-based retirement (connection-pool style): a
+        // member who joined before the last blackout is replaced at
+        // checkout time instead of being scanned out during the outage.
+        if self.pool.is_stale(w) {
+            self.retire_stale(w);
+            return;
+        }
         self.idle.remove(&w);
 
         // 1. Must-fill: tasks with fewer live assignments than needed
@@ -716,6 +796,21 @@ impl Runner {
         }
     }
 
+    /// Retire a stale (pre-blackout generation) member at checkout:
+    /// settle their outstanding wait, free the slot, and backfill from
+    /// the reserve or recruitment.
+    fn retire_stale(&mut self, w: WorkerId) {
+        self.idle.remove(&w);
+        let now = self.now();
+        if let Some(wait) = self.pool.leave(w, now) {
+            self.platform.pay_wait(wait);
+        }
+        self.patience.remove(&w);
+        self.abandon_epoch.remove(&w);
+        self.stale_retired += 1;
+        self.refill_vacancy();
+    }
+
     fn assign(&mut self, w: WorkerId, tid: TaskId) {
         let now = self.now();
         // Invalidate pending abandon checks.
@@ -766,11 +861,13 @@ impl Runner {
     // Maintenance & recruitment
     // ------------------------------------------------------------------
 
-    /// Make sure enough recruitments are in flight to (eventually) fill
-    /// the pool and, under maintenance, the reserve.
+    /// Make sure enough recruitments are in flight to (eventually) keep
+    /// the pool at its replenishment floor and, under maintenance, the
+    /// reserve at its target — the background-replenishment half of the
+    /// pool lifecycle.
     fn ensure_recruitment(&mut self) {
         let reserve_target = self.cfg.maintenance.map(|m| m.reserve_target).unwrap_or(0);
-        let want = self.cfg.pool_size + reserve_target;
+        let want = self.pool.fill_target() + reserve_target;
         let have = self.pool.len() + self.reserve.len() + self.recruits_in_flight;
         for _ in have..want {
             let delay = self.platform.start_recruitment();
@@ -779,9 +876,10 @@ impl Runner {
         }
     }
 
-    /// Fill a pool vacancy from the reserve, or start recruiting.
+    /// Refill the pool to its floor from the reserve, or start
+    /// recruiting.
     fn refill_vacancy(&mut self) {
-        while self.pool.vacancies() > 0 {
+        while self.pool.len() < self.pool.fill_target() {
             match self.reserve.pop_front() {
                 Some(next) => self.join_pool(next),
                 None => break,
@@ -790,14 +888,47 @@ impl Runner {
         self.ensure_recruitment();
     }
 
+    /// With a `min_size` floor below capacity, promote reserve workers at
+    /// a batch start when the incoming demand exceeds the idle members on
+    /// hand — the pool surges toward capacity and drains back to the
+    /// floor as members churn out. A no-op (and zero extra draws or
+    /// events) when the floor equals the capacity.
+    fn surge_promote(&mut self) {
+        if self.pool.fill_target() >= self.pool.capacity() {
+            return;
+        }
+        let mut demand = 0usize;
+        for &tid in &self.batch_tasks {
+            let task = &self.tasks[tid.0 as usize];
+            if task.completed_at.is_some() {
+                continue;
+            }
+            let remaining = self.cfg.quorum.saturating_sub(task.responses.len() as u32) as usize;
+            demand += remaining.saturating_sub(task.active.len());
+        }
+        let mut need = demand.saturating_sub(self.idle.len());
+        while need > 0 && self.pool.vacancies() > 0 {
+            let Some(next) = self.reserve.pop_front() else {
+                break;
+            };
+            self.join_pool(next);
+            need -= 1;
+        }
+    }
+
     /// Batch-boundary maintenance: evict flagged workers (replacement
-    /// permitting) and top the reserve back up.
+    /// permitting) and top the reserve back up. Only `Waiting` members
+    /// are eviction candidates: evicting a `Working` member would orphan
+    /// their live assignment — the answer would still arrive, but against
+    /// a vanished member record, silently skipping the age/wait
+    /// accounting in `finish_work`. Reachable whenever an assignment
+    /// (e.g. a straggler replica) spans the batch boundary.
     fn maintenance_step(&mut self) {
         let Some(mcfg) = self.cfg.maintenance else {
             self.ensure_recruitment();
             return;
         };
-        let members: Vec<WorkerId> = self.pool.members().map(|(w, _)| w).collect();
+        let members: Vec<WorkerId> = self.pool.waiting();
         let flagged = self.maintainer.flag_evictions(members.into_iter(), &mcfg);
         for w in flagged {
             // Only evict when a trained replacement is ready — maintenance
@@ -1026,6 +1157,215 @@ mod tests {
     }
 
     // ------------------------------------------------------------------
+    // Pool lifecycle & accounting
+    // ------------------------------------------------------------------
+
+    use crate::config::{CheckoutStrategy, PoolConfig};
+    use clamshell_crowd::MemberState;
+
+    #[test]
+    fn drain_settles_all_outstanding_wait_exactly() {
+        use clamshell_crowd::payment::usd;
+        // Regression for the reserve-settlement accounting: at run drain,
+        // total wait pay must equal the mid-run accrual plus a
+        // hand-computed settlement for every still-Waiting pool member
+        // AND every worker still queued in the maintenance reserve.
+        let cfg = RunConfig {
+            maintenance: Some(MaintenanceConfig {
+                threshold_per_label_secs: 1000.0, // no evictions: isolate settlement
+                ..MaintenanceConfig::pm8()
+            }),
+            ..base_cfg(31)
+        };
+        let rate = cfg.platform.wait_pay_per_min;
+        let mut r = Runner::new(cfg, pop());
+        r.warm_up();
+        r.run_batch(specs(8, 5));
+        // Land the in-flight reserve recruits so the drain has real
+        // reserve wait to settle.
+        while r.reserve.len() < 3 {
+            let Some((_, ev)) = r.queue.pop() else { break };
+            r.handle(ev);
+        }
+        assert!(!r.reserve_since.is_empty(), "reserve must be non-empty at drain");
+        assert_eq!(r.reserve.len(), r.reserve_since.len());
+        let now = r.now();
+        let mut expected = r.platform.ledger().wait_micro;
+        for (_, m) in r.pool.members() {
+            if let MemberState::Waiting { since } = m.state {
+                expected += usd(rate * now.since(since).as_mins_f64());
+            }
+        }
+        for &since in r.reserve_since.values() {
+            expected += usd(rate * now.since(since).as_mins_f64());
+        }
+        let report = r.finish();
+        assert_eq!(report.cost.wait_micro, expected, "wait pay must settle exactly at drain");
+    }
+
+    #[test]
+    fn maintenance_skips_mid_assignment_members() {
+        // Regression: an assignment that spans the batch boundary (e.g. a
+        // straggler replica) leaves its member `Working` when maintenance
+        // runs; evicting them would orphan the live assignment. Only
+        // `Waiting` members are eviction candidates.
+        let cfg = RunConfig {
+            maintenance: Some(MaintenanceConfig {
+                threshold_per_label_secs: 0.001, // flag anyone with evidence
+                min_tasks: 1,
+                ..MaintenanceConfig::pm8()
+            }),
+            ..base_cfg(32)
+        };
+        let mut r = Runner::new(cfg, pop());
+        r.warm_up();
+        // Land at least one reserve recruit so evictions have a
+        // replacement available.
+        while r.reserve.is_empty() {
+            let (_, ev) = r.queue.pop().expect("recruits in flight");
+            r.handle(ev);
+        }
+        // Damning latency evidence for every member, then put one to work
+        // across the boundary.
+        let members: Vec<WorkerId> = r.pool.members().map(|(w, _)| w).collect();
+        for &w in &members {
+            let stats = r.maintainer.stats_mut(w);
+            for _ in 0..3 {
+                // `started` normally ticks in `assign`; mirror it here so
+                // the evidence passes the maintainer's min-tasks gate.
+                stats.started += 1;
+                stats.record_completion(1_000.0, 5);
+            }
+        }
+        let straggler = members[0];
+        r.pool.start_work(straggler, r.now());
+        r.maintenance_step();
+        assert!(r.pool.contains(straggler), "working member must survive maintenance");
+        assert!(matches!(r.pool.member(straggler).unwrap().state, MemberState::Working { .. }));
+        assert!(
+            r.maintainer.evictions > 0,
+            "waiting members with identical evidence are still evicted"
+        );
+        // The boundary-spanning assignment still lands normally.
+        r.pool.finish_work(straggler, r.now(), true);
+        assert_eq!(r.pool.age(straggler), 1);
+    }
+
+    #[test]
+    fn default_pool_config_is_byte_identical_to_explicit_fifo() {
+        let explicit = RunConfig {
+            pool: PoolConfig {
+                min_size: None,
+                strategy: CheckoutStrategy::Fifo,
+                idle_timeout: None,
+                generations: false,
+            },
+            ..base_cfg(30)
+        };
+        let a = run_batched(base_cfg(30), pop(), specs(16, 5), 8);
+        let b = run_batched(explicit, pop(), specs(16, 5), 8);
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+        assert_eq!(a.reserve_expired, 0);
+        assert_eq!(a.stale_retired, 0);
+    }
+
+    #[test]
+    fn lifo_checkout_changes_the_schedule_deterministically() {
+        let lifo_cfg = || RunConfig {
+            pool: PoolConfig { strategy: CheckoutStrategy::Lifo, ..Default::default() },
+            ..base_cfg(37)
+        };
+        let fifo = run_batched(base_cfg(37), pop(), specs(24, 5), 4);
+        let lifo_a = run_batched(lifo_cfg(), pop(), specs(24, 5), 4);
+        let lifo_b = run_batched(lifo_cfg(), pop(), specs(24, 5), 4);
+        assert_eq!(
+            serde_json::to_string(&lifo_a).unwrap(),
+            serde_json::to_string(&lifo_b).unwrap()
+        );
+        assert_ne!(
+            serde_json::to_string(&fifo).unwrap(),
+            serde_json::to_string(&lifo_a).unwrap(),
+            "with 8 members and 4-task batches, checkout order must matter"
+        );
+        assert_eq!(lifo_a.tasks.len(), 24, "every task completes under LIFO too");
+    }
+
+    #[test]
+    fn reserve_idle_timeout_expires_and_pays() {
+        let cfg = || RunConfig {
+            maintenance: Some(MaintenanceConfig {
+                threshold_per_label_secs: 1000.0,
+                ..MaintenanceConfig::pm8()
+            }),
+            pool: PoolConfig {
+                idle_timeout: Some(SimDuration::from_secs(30)),
+                ..Default::default()
+            },
+            ..base_cfg(33)
+        };
+        // Qualification delays put the reserve recruits well past a short
+        // batch run, so advance the clock far enough for them to land in
+        // the reserve and for their 30s timeouts to fire.
+        let run = || {
+            let mut r = Runner::new(cfg(), pop());
+            r.warm_up();
+            r.run_batch(specs(8, 5));
+            r.advance(SimDuration::from_mins(60));
+            r.run_batch(specs(8, 5));
+            r.finish()
+        };
+        let report = run();
+        assert!(report.reserve_expired > 0, "a 30s timeout must release reserve workers");
+        assert_eq!(report.tasks.len(), 16, "releases never block completion");
+        let again = run();
+        assert_eq!(serde_json::to_string(&report).unwrap(), serde_json::to_string(&again).unwrap());
+    }
+
+    #[test]
+    fn min_size_floor_fills_below_capacity() {
+        let cfg = RunConfig {
+            pool: PoolConfig { min_size: Some(4), ..Default::default() },
+            ..base_cfg(35)
+        };
+        let mut r = Runner::new(cfg, pop());
+        r.warm_up();
+        assert_eq!(r.pool().len(), 4, "warm-up fills to the floor, not capacity");
+        r.run_batch(specs(8, 5));
+        let report = r.finish();
+        assert_eq!(report.tasks.len(), 8);
+    }
+
+    #[test]
+    fn surge_promotes_reserve_to_cover_demand() {
+        let cfg = RunConfig {
+            churn: false,
+            maintenance: Some(MaintenanceConfig {
+                threshold_per_label_secs: 1000.0,
+                reserve_target: 6,
+                ..MaintenanceConfig::pm8()
+            }),
+            pool: PoolConfig { min_size: Some(2), ..Default::default() },
+            ..base_cfg(36)
+        };
+        let mut r = Runner::new(cfg, pop());
+        r.warm_up();
+        assert_eq!(r.pool().len(), 2);
+        while r.reserve.len() < 6 {
+            let (_, ev) = r.queue.pop().expect("recruits in flight");
+            r.handle(ev);
+        }
+        r.run_batch(specs(8, 5));
+        assert!(
+            r.pool().len() > 2,
+            "an 8-task batch against a 2-member floor must promote reserve workers (len={})",
+            r.pool().len()
+        );
+        assert!(r.pool().len() <= r.pool().capacity());
+        let report = r.finish();
+        assert_eq!(report.tasks.len(), 8);
+    }
+
+    // ------------------------------------------------------------------
     // Adversity faults
     // ------------------------------------------------------------------
 
@@ -1100,6 +1440,32 @@ mod tests {
             dark.total_secs(),
             benign.total_secs()
         );
+    }
+
+    #[test]
+    fn blackout_generations_retire_stale_members_lazily() {
+        let cfg = || RunConfig {
+            pool: PoolConfig { generations: true, ..Default::default() },
+            ..adv_cfg(
+                34,
+                AdversityConfig {
+                    outage: Some(OutageFault { mean_uptime_secs: 120.0, mean_outage_secs: 45.0 }),
+                    ..AdversityConfig::NONE
+                },
+            )
+        };
+        let report = run_batched(cfg(), pop(), specs(24, 5), 8);
+        assert!(
+            report.stale_retired > 0,
+            "blackouts must retire pre-outage members at their next checkout"
+        );
+        assert_eq!(report.tasks.len(), 24, "lazy retirement never blocks completion");
+        let again = run_batched(cfg(), pop(), specs(24, 5), 8);
+        assert_eq!(serde_json::to_string(&report).unwrap(), serde_json::to_string(&again).unwrap());
+        // Generations off: same outage schedule, zero retirements.
+        let plain = RunConfig { pool: PoolConfig::default(), ..cfg() };
+        let baseline = run_batched(plain, pop(), specs(24, 5), 8);
+        assert_eq!(baseline.stale_retired, 0);
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub mod slots;
 pub use faults::{CrowdFaults, LatencyInflation};
 pub use payment::CostLedger;
 pub use platform::{PlatformConfig, SimPlatform, WorkerId};
-pub use slots::{MemberState, RetainerPool};
+pub use slots::{CheckoutStrategy, MemberState, PoolConfig, RetainerPool};

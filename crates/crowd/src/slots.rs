@@ -7,11 +7,67 @@
 //! bounded set of members, each either *waiting* (idle, accruing wait pay)
 //! or *working* (running an assignment). Iteration order is deterministic
 //! (ordered by [`WorkerId`]) so the scheduler's choices are reproducible.
+//!
+//! Beyond the flat slot set, the pool carries production resource-pool
+//! lifecycle semantics (in the mold of database connection pools):
+//!
+//! - a [`PoolConfig`] with a replenishment floor (`min_size`) below the
+//!   hard `capacity` ceiling, an idle timeout for off-pool reserve
+//!   workers, and a checkout strategy;
+//! - [`CheckoutStrategy`]: FIFO hands work to the longest-idle member
+//!   ("even wear" — every member keeps earning and stays warm), LIFO to
+//!   the most-recently-idle ("hot working set" — a fast core serves
+//!   bursts while the cold tail idles);
+//! - **generations**: a monotone counter bumped on platform blackouts.
+//!   Members joined under an older generation are *stale* and are retired
+//!   lazily at their next checkout — an O(1) bump instead of an eager
+//!   pool scan at outage time.
+//!
+//! At the default config (no floor, FIFO, no timeout, generations off)
+//! every one of these mechanisms is inert and the pool behaves exactly
+//! like the flat slot set it replaced — byte-identical runs.
 
 use crate::platform::WorkerId;
 use clamshell_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Order in which idle members are handed new work when a batch opens or
+/// coverage is lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckoutStrategy {
+    /// "Even wear": longest-idle member first. Every member keeps cycling
+    /// through work, so wait-pay accrual and practice effects spread
+    /// evenly across the pool. This is the historical dispatch order.
+    #[default]
+    Fifo,
+    /// "Hot working set": most-recently-idle member first. Under bursty
+    /// arrivals a small fast core absorbs most of the work while the
+    /// rest of the pool sits cold in reserve.
+    Lifo,
+}
+
+/// Lifecycle knobs for [`RetainerPool`]. The default value makes every
+/// mechanism inert: no floor (`min_size = None` ⇒ replenish to
+/// capacity), FIFO checkout, no idle timeout, generations off — runs are
+/// byte-identical to the pre-lifecycle pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct PoolConfig {
+    /// Replenishment floor. Background recruitment keeps the pool at this
+    /// size; demand surges may promote reserve workers up to `capacity`.
+    /// `None` means "floor == capacity" (always run full).
+    pub min_size: Option<usize>,
+    /// Checkout order for idle members.
+    pub strategy: CheckoutStrategy,
+    /// How long a *reserve* (off-pool) worker may sit idle before being
+    /// released. `None` disables the timeout. The runner jitters each
+    /// deadline from a dedicated labeled RNG stream so enabling the
+    /// timeout never perturbs benign draws.
+    pub idle_timeout: Option<SimDuration>,
+    /// Bump the pool generation on platform blackouts; members from older
+    /// generations are lazily retired at their next checkout.
+    pub generations: bool,
+}
 
 /// The state of one pool member.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,29 +91,96 @@ pub struct Member {
     pub state: MemberState,
     /// When the worker joined the pool.
     pub joined: SimTime,
+    /// Pool generation at join time; members below the pool's current
+    /// generation are stale.
+    pub generation: u64,
     /// Number of assignments this member has *started* in this pool.
     pub started: u32,
     /// Number of assignments completed (not terminated).
     pub completed: u32,
 }
 
-/// A bounded retainer pool.
+/// A bounded retainer pool with lifecycle semantics (see module docs).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RetainerPool {
     capacity: usize,
+    config: PoolConfig,
+    generation: u64,
     members: BTreeMap<WorkerId, Member>,
 }
 
 impl RetainerPool {
-    /// Create a pool with room for `capacity` workers (`Np` in Table 3).
+    /// Create a pool with room for `capacity` workers (`Np` in Table 3)
+    /// and the inert default [`PoolConfig`].
     pub fn new(capacity: usize) -> Self {
+        Self::with_config(capacity, PoolConfig::default())
+    }
+
+    /// Create a pool with explicit lifecycle knobs.
+    pub fn with_config(capacity: usize, config: PoolConfig) -> Self {
         assert!(capacity > 0, "pool capacity must be positive");
-        RetainerPool { capacity, members: BTreeMap::new() }
+        if let Some(min) = config.min_size {
+            assert!(
+                (1..=capacity).contains(&min),
+                "pool min_size must be in 1..=capacity ({min} vs {capacity})"
+            );
+        }
+        RetainerPool { capacity, config, generation: 0, members: BTreeMap::new() }
     }
 
     /// Target size `Np`.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The lifecycle configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// The size background replenishment aims for: `min_size` when set,
+    /// otherwise the full capacity.
+    pub fn fill_target(&self) -> usize {
+        self.config.min_size.unwrap_or(self.capacity)
+    }
+
+    /// Current pool generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Advance the generation (called on a blackout). O(1): existing
+    /// members are *not* scanned — they become stale and are retired
+    /// lazily at their next checkout.
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Whether `w` is a member from an older generation (due for lazy
+    /// retirement at checkout). Non-members are not stale.
+    pub fn is_stale(&self, w: WorkerId) -> bool {
+        self.members.get(&w).is_some_and(|m| m.generation < self.generation)
+    }
+
+    /// Reorder a checkout candidate list according to the configured
+    /// strategy. The input is expected in ascending [`WorkerId`] order
+    /// (recruitment order — the historical FIFO dispatch order), so FIFO
+    /// is a no-op; LIFO sorts most-recently-idle first, breaking ties
+    /// toward the younger (higher-id) worker.
+    pub fn order_checkouts(&self, candidates: &mut [WorkerId]) {
+        match self.config.strategy {
+            CheckoutStrategy::Fifo => {}
+            CheckoutStrategy::Lifo => {
+                candidates.sort_unstable_by(|&a, &b| {
+                    let idle_since = |w: WorkerId| match self.members.get(&w).map(|m| m.state) {
+                        Some(MemberState::Waiting { since }) => since,
+                        _ => SimTime::ZERO,
+                    };
+                    // Descending (since, id): latest idler first.
+                    (idle_since(b), b).cmp(&(idle_since(a), a))
+                });
+            }
+        }
     }
 
     /// Current number of members.
@@ -86,6 +209,7 @@ impl RetainerPool {
             Member {
                 state: MemberState::Waiting { since: now },
                 joined: now,
+                generation: self.generation,
                 started: 0,
                 completed: 0,
             },
@@ -264,5 +388,87 @@ mod tests {
         p.join(WorkerId(0), t(0));
         p.start_work(WorkerId(0), t(1));
         p.start_work(WorkerId(0), t(2));
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle: config, generations, checkout strategies
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn default_config_is_inert() {
+        let p = RetainerPool::new(4);
+        assert_eq!(*p.config(), PoolConfig::default());
+        assert_eq!(p.fill_target(), 4, "no floor means fill to capacity");
+        assert_eq!(p.generation(), 0);
+    }
+
+    #[test]
+    fn min_size_sets_the_fill_target() {
+        let cfg = PoolConfig { min_size: Some(2), ..Default::default() };
+        let p = RetainerPool::with_config(5, cfg);
+        assert_eq!(p.fill_target(), 2);
+        assert_eq!(p.capacity(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn min_size_above_capacity_rejected() {
+        let cfg = PoolConfig { min_size: Some(6), ..Default::default() };
+        let _ = RetainerPool::with_config(5, cfg);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_min_size_rejected() {
+        let cfg = PoolConfig { min_size: Some(0), ..Default::default() };
+        let _ = RetainerPool::with_config(5, cfg);
+    }
+
+    #[test]
+    fn generation_bump_marks_existing_members_stale() {
+        let mut p = RetainerPool::new(3);
+        p.join(WorkerId(0), t(0));
+        p.join(WorkerId(1), t(1));
+        assert!(!p.is_stale(WorkerId(0)));
+        p.bump_generation();
+        assert_eq!(p.generation(), 1);
+        assert!(p.is_stale(WorkerId(0)), "pre-bump member is stale");
+        assert!(p.is_stale(WorkerId(1)));
+        // A fresh joiner carries the new generation.
+        p.join(WorkerId(2), t(5));
+        assert!(!p.is_stale(WorkerId(2)));
+        assert_eq!(p.member(WorkerId(2)).unwrap().generation, 1);
+        // Non-members are never stale.
+        assert!(!p.is_stale(WorkerId(9)));
+    }
+
+    #[test]
+    fn fifo_checkout_preserves_id_order() {
+        let mut p = RetainerPool::new(3);
+        p.join(WorkerId(0), t(0));
+        p.join(WorkerId(1), t(10));
+        p.join(WorkerId(2), t(20));
+        let mut order = vec![WorkerId(0), WorkerId(1), WorkerId(2)];
+        p.order_checkouts(&mut order);
+        assert_eq!(order, vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
+    }
+
+    #[test]
+    fn lifo_checkout_prefers_most_recently_idle() {
+        let cfg = PoolConfig { strategy: CheckoutStrategy::Lifo, ..Default::default() };
+        let mut p = RetainerPool::with_config(3, cfg);
+        p.join(WorkerId(0), t(0));
+        p.join(WorkerId(1), t(0));
+        p.join(WorkerId(2), t(0));
+        // Worker 0 works and comes back: now the most recently idle.
+        p.start_work(WorkerId(0), t(5));
+        p.finish_work(WorkerId(0), t(30), true);
+        let mut order = vec![WorkerId(0), WorkerId(1), WorkerId(2)];
+        p.order_checkouts(&mut order);
+        assert_eq!(
+            order,
+            vec![WorkerId(0), WorkerId(2), WorkerId(1)],
+            "latest idler first; equal-since ties break toward the higher id"
+        );
     }
 }

@@ -1,0 +1,20 @@
+//! Pool-lifecycle fixture: the shapes the production pool module must
+//! not regress into — hash-ordered member maps (D001) — plus a unique
+//! RNG stream label (no D004: 0x00AD appears nowhere else in the tree).
+
+pub fn member_map_on_hash(m: &std::collections::HashMap<u32, u32>) -> usize {
+    m.len()
+}
+
+// clamshell-lint: allow(D001) -- scratch set is drained into a sorted checkout list before any order-sensitive use
+pub fn checkout_scratch(s: &std::collections::HashSet<u32>) -> usize {
+    s.len()
+}
+
+pub fn idle_jitter_stream(seed: u64) -> Rng {
+    fault_stream(seed, 0x00AD)
+}
+
+pub fn ordered_members(m: &std::collections::BTreeMap<u32, u32>) -> usize {
+    m.len()
+}

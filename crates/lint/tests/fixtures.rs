@@ -151,6 +151,19 @@ fn test_sources_and_clean_files_stay_silent() {
 }
 
 #[test]
+fn pool_lifecycle_fixture_covers_the_new_module() {
+    // The production-pool module's determinism hazards: a hash-ordered
+    // member map fires D001, a drained scratch set is suppressible, and
+    // its RNG stream label (0x00AD) is unique tree-wide so D004 stays
+    // quiet.
+    let report = lint_root(&fixture_root("tree")).expect("lint fixtures/tree");
+    let f = "crates/crowd/src/pool_lifecycle.rs";
+    assert_eq!(count(&report, f, "D001"), 1, "HashMap member map must fire D001");
+    assert_eq!(suppressed_count(&report, f, "D001"), 1, "drained scratch set is suppressed");
+    assert_eq!(count(&report, f, "D004"), 0, "0x00AD is unique across the fixture tree");
+}
+
+#[test]
 fn clean_tree_is_clean() {
     let report = lint_root(&fixture_root("clean")).expect("lint fixtures/clean");
     assert!(report.diagnostics.is_empty(), "unexpected findings: {:?}", report.diagnostics);

@@ -1,0 +1,71 @@
+//! Pool-lifecycle byte-identity against the committed goldens.
+//!
+//! The production-pool knobs ([`PoolConfig`]) must be inert at their
+//! defaults: a run with an *explicit* FIFO strategy, no idle timeout,
+//! no floor, and generations off has to reproduce every committed
+//! golden snapshot byte for byte — the strongest form of the "new
+//! features schedule zero events and draw zero randomness when
+//! disabled" rule in ARCHITECTURE.md. The companion test pins the
+//! contrapositive: a non-default strategy visibly changes a schedule,
+//! so the identity above is not vacuous.
+
+use clamshell_core::{CheckoutStrategy, PoolConfig};
+use clamshell_scenarios::{catalog, find, golden, grid, suite, CompactReport};
+
+fn explicit_fifo() -> PoolConfig {
+    PoolConfig {
+        min_size: None,
+        strategy: CheckoutStrategy::Fifo,
+        idle_timeout: None,
+        generations: false,
+    }
+}
+
+#[test]
+fn explicit_fifo_defaults_reproduce_every_committed_golden() {
+    let mut base = suite::base_config();
+    base.pool = explicit_fifo();
+    let g = grid(base, suite::population(), suite::specs(), suite::BATCH).seeds(&suite::SEEDS);
+    let reports = g.try_run_all(None).expect("catalog grid is valid");
+    for (s_idx, def) in catalog().iter().enumerate() {
+        let compact: Vec<CompactReport> = suite::SEEDS
+            .iter()
+            .enumerate()
+            .map(|(k, &seed)| {
+                CompactReport::of(def.name, seed, &reports[s_idx * suite::SEEDS.len() + k])
+            })
+            .collect();
+        let rendered = golden::render(&compact);
+        let committed =
+            golden::read(def.name).unwrap_or_else(|| panic!("{}: no committed snapshot", def.name));
+        assert_eq!(
+            committed, rendered,
+            "{}: explicit FIFO defaults must be byte-identical to the committed golden",
+            def.name
+        );
+    }
+}
+
+#[test]
+fn lifo_under_bursty_diverges_from_the_committed_golden() {
+    let mut base = suite::base_config();
+    base.pool = PoolConfig { strategy: CheckoutStrategy::Lifo, ..explicit_fifo() };
+    let def = find("bursty").expect("catalog has bursty");
+    let g = grid(base, suite::population(), suite::specs(), suite::BATCH).seeds(&suite::SEEDS);
+    let reports = g.try_run_all(None).expect("catalog grid is valid");
+    let s_idx = catalog().iter().position(|s| s.name == "bursty").unwrap();
+    let compact: Vec<CompactReport> = suite::SEEDS
+        .iter()
+        .enumerate()
+        .map(|(k, &seed)| {
+            CompactReport::of(def.name, seed, &reports[s_idx * suite::SEEDS.len() + k])
+        })
+        .collect();
+    let rendered = golden::render(&compact);
+    let committed = golden::read("bursty").expect("committed snapshot");
+    assert_ne!(
+        committed, rendered,
+        "LIFO checkout must change the bursty schedule (otherwise the identity \
+         test above pins nothing)"
+    );
+}

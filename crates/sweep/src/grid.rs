@@ -8,7 +8,7 @@ use crate::progress::{CancelToken, ProgressFn};
 use crate::threads;
 use clamshell_core::metrics::RunReport;
 use clamshell_core::task::TaskSpec;
-use clamshell_core::RunConfig;
+use clamshell_core::{PoolConfig, RunConfig};
 use clamshell_trace::Population;
 use std::sync::Arc;
 
@@ -25,6 +25,12 @@ pub enum GridError {
         /// The offending label.
         label: String,
     },
+    /// Two pool variants share a label; combined cell labels would
+    /// silently collide.
+    DuplicateVariant {
+        /// The offending label.
+        label: String,
+    },
 }
 
 impl std::fmt::Display for GridError {
@@ -33,6 +39,9 @@ impl std::fmt::Display for GridError {
             GridError::EmptySeedAxis => write!(f, "grid has an empty seed axis"),
             GridError::DuplicateScenario { label } => {
                 write!(f, "grid declares scenario label {label:?} more than once")
+            }
+            GridError::DuplicateVariant { label } => {
+                write!(f, "grid declares pool-variant label {label:?} more than once")
             }
         }
     }
@@ -68,7 +77,9 @@ pub struct JobMeta {
     pub index: usize,
     /// Scenario index (row of the grid).
     pub scenario: usize,
-    /// Scenario label.
+    /// Pool-variant index (0 when the grid declares no variants).
+    pub variant: usize,
+    /// Scenario label (suffixed `"/variant"` when variants are declared).
     pub label: Arc<str>,
     /// The cell's seed.
     pub seed: u64,
@@ -77,13 +88,16 @@ pub struct JobMeta {
 /// Builder for a seed × scenario sweep over
 /// [`run_batched`](clamshell_core::runner::run_batched).
 ///
-/// Enumeration order is **scenario-major, seed-minor** in declaration
-/// order: scenario 0 × every seed, then scenario 1 × every seed, and so
-/// on. Job `index` is the position in that order, and every result-
-/// returning method presents reports in it, which is what makes sweeps
-/// deterministic across thread counts. A grid with no declared
-/// scenarios runs the base config as a single implicit scenario
-/// labeled `"base"`.
+/// Enumeration order is **scenario-major, variant-mid, seed-minor** in
+/// declaration order: scenario 0 × variant 0 × every seed, then
+/// scenario 0 × variant 1 × every seed, and so on. Job `index` is the
+/// position in that order, and every result-returning method presents
+/// reports in it, which is what makes sweeps deterministic across
+/// thread counts. A grid with no declared scenarios runs the base
+/// config as a single implicit scenario labeled `"base"`; a grid with
+/// no declared pool variants has a single implicit variant (the base
+/// config's own [`PoolConfig`]) that adds no label suffix — the
+/// historical labels and enumeration exactly.
 pub struct Grid {
     base: RunConfig,
     population: Arc<Population>,
@@ -91,6 +105,9 @@ pub struct Grid {
     batch_size: usize,
     seeds: Vec<u64>,
     scenarios: Vec<Scenario>,
+    /// Pool-lifecycle axis: labeled [`PoolConfig`]s crossed against every
+    /// scenario. Empty = the single implicit variant.
+    pool_variants: Vec<(Arc<str>, PoolConfig)>,
 }
 
 impl std::fmt::Debug for Grid {
@@ -123,6 +140,7 @@ impl Grid {
             batch_size,
             seeds,
             scenarios: Vec::new(),
+            pool_variants: Vec::new(),
         }
     }
 
@@ -136,8 +154,9 @@ impl Grid {
     }
 
     /// Check the grid is structurally runnable: a non-empty seed axis
-    /// and no duplicate scenario labels. Every run entry point calls
-    /// this first, so an invalid grid fails before any cell executes.
+    /// and no duplicate scenario or pool-variant labels. Every run entry
+    /// point calls this first, so an invalid grid fails before any cell
+    /// executes.
     pub fn validate(&self) -> Result<(), GridError> {
         if self.seeds.is_empty() {
             return Err(GridError::EmptySeedAxis);
@@ -146,6 +165,12 @@ impl Grid {
         for s in &self.scenarios {
             if !seen.insert(&*s.label) {
                 return Err(GridError::DuplicateScenario { label: s.label.to_string() });
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for (label, _) in &self.pool_variants {
+            if !seen.insert(&**label) {
+                return Err(GridError::DuplicateVariant { label: label.to_string() });
             }
         }
         Ok(())
@@ -185,31 +210,56 @@ impl Grid {
         self
     }
 
+    /// Append a pool-lifecycle variant: a labeled [`PoolConfig`] crossed
+    /// against every scenario. Declaring any variant multiplies the grid
+    /// by the variant axis and suffixes cell labels `"scenario/variant"`.
+    pub fn pool_variant(mut self, label: impl Into<Arc<str>>, config: PoolConfig) -> Self {
+        self.pool_variants.push((label.into(), config));
+        self
+    }
+
     /// Number of scenario rows (at least 1: the implicit base scenario).
     pub fn n_scenarios(&self) -> usize {
         self.scenarios.len().max(1)
     }
 
-    /// Number of seeds per scenario.
+    /// Number of pool variants (at least 1: the implicit base variant).
+    pub fn n_variants(&self) -> usize {
+        self.pool_variants.len().max(1)
+    }
+
+    /// Number of seeds per (scenario, variant) row.
     pub fn n_seeds(&self) -> usize {
         self.seeds.len()
     }
 
     /// Total cells in the grid.
     pub fn n_jobs(&self) -> usize {
-        self.n_scenarios() * self.n_seeds()
+        self.n_scenarios() * self.n_variants() * self.n_seeds()
+    }
+
+    /// Combined cell label: the scenario label, suffixed with the
+    /// variant label when a variant axis is declared.
+    fn cell_label(&self, scenario_label: &Arc<str>, variant: usize) -> Arc<str> {
+        match self.pool_variants.get(variant) {
+            Some((vlabel, _)) => format!("{scenario_label}/{vlabel}").into(),
+            None => scenario_label.clone(),
+        }
     }
 
     /// Cell identity at `index` in enumeration order.
     pub fn meta(&self, index: usize) -> JobMeta {
         assert!(index < self.n_jobs(), "job index {index} out of range");
-        let scenario = index / self.n_seeds();
+        let per_scenario = self.n_variants() * self.n_seeds();
+        let scenario = index / per_scenario;
+        let variant = (index % per_scenario) / self.n_seeds();
         let seed = self.seeds[index % self.n_seeds()];
-        let label = match self.scenarios.get(scenario) {
+        let scenario_label: Arc<str> = match self.scenarios.get(scenario) {
             Some(s) => s.label.clone(),
             None => "base".into(),
         };
-        JobMeta { index, scenario, label, seed }
+        let label = self.cell_label(&scenario_label, variant);
+        JobMeta { index, scenario, variant, label, seed }
     }
 
     /// Materialize the job list in enumeration order.
@@ -224,21 +274,28 @@ impl Grid {
             let specs =
                 scenario.and_then(|s| s.specs.clone()).unwrap_or_else(|| self.specs.clone());
             let batch_size = scenario.and_then(|s| s.batch_size).unwrap_or(self.batch_size);
-            let label: Arc<str> = match scenario {
+            let scenario_label: Arc<str> = match scenario {
                 Some(s) => s.label.clone(),
                 None => "base".into(),
             };
-            for &seed in &self.seeds {
-                jobs.push(Job {
-                    index: jobs.len(),
-                    scenario: scenario_idx,
-                    label: label.clone(),
-                    seed,
-                    cfg: RunConfig { seed, ..cfg.clone() },
-                    specs: specs.clone(),
-                    batch_size,
-                    population: self.population.clone(),
-                });
+            for variant_idx in 0..self.n_variants() {
+                let mut cfg = cfg.clone();
+                if let Some((_, pool)) = self.pool_variants.get(variant_idx) {
+                    cfg.pool = *pool;
+                }
+                let label = self.cell_label(&scenario_label, variant_idx);
+                for &seed in &self.seeds {
+                    jobs.push(Job {
+                        index: jobs.len(),
+                        scenario: scenario_idx,
+                        label: label.clone(),
+                        seed,
+                        cfg: RunConfig { seed, ..cfg.clone() },
+                        specs: specs.clone(),
+                        batch_size,
+                        population: self.population.clone(),
+                    });
+                }
             }
         }
         jobs
@@ -299,11 +356,14 @@ impl Grid {
         Ok(reports.into_iter().map(|r| r.expect("uncancelled sweep completes")).collect())
     }
 
-    /// Run the whole grid and group reports by scenario: `out[s][k]` is
-    /// scenario `s` under the `k`-th seed.
+    /// Run the whole grid and group reports by row: `out[r][k]` is the
+    /// `r`-th (scenario, variant) row under the `k`-th seed — rows
+    /// enumerate scenario-major, variant-mid, so without a variant axis
+    /// `r` is simply the scenario index.
     pub fn run_grouped(&self, threads: Option<usize>) -> Vec<Vec<RunReport>> {
         let n_seeds = self.n_seeds();
-        let mut grouped: Vec<Vec<RunReport>> = Vec::with_capacity(self.n_scenarios());
+        let mut grouped: Vec<Vec<RunReport>> =
+            Vec::with_capacity(self.n_scenarios() * self.n_variants());
         let mut row: Vec<RunReport> = Vec::with_capacity(n_seeds);
         for report in self.run_all(threads) {
             row.push(report);
@@ -514,6 +574,82 @@ mod tests {
         )
         .seeds(&[]);
         let _ = grid.run_all(Some(1));
+    }
+
+    #[test]
+    fn pool_variant_axis_multiplies_and_labels_cells() {
+        use clamshell_core::CheckoutStrategy;
+        let grid = Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs(4),
+            4,
+        )
+        .seeds(&[10, 20])
+        .scenario("sm", |c| c.straggler = Some(Default::default()))
+        .scenario("nosm", |c| c.straggler = None)
+        .pool_variant("fifo", PoolConfig::default())
+        .pool_variant(
+            "lifo",
+            PoolConfig { strategy: CheckoutStrategy::Lifo, ..Default::default() },
+        );
+        assert_eq!(grid.n_variants(), 2);
+        assert_eq!(grid.n_jobs(), 2 * 2 * 2);
+        let jobs = grid.jobs();
+        let got: Vec<(usize, &str, u64)> =
+            jobs.iter().map(|j| (j.scenario, &*j.label, j.seed)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, "sm/fifo", 10),
+                (0, "sm/fifo", 20),
+                (0, "sm/lifo", 10),
+                (0, "sm/lifo", 20),
+                (1, "nosm/fifo", 10),
+                (1, "nosm/fifo", 20),
+                (1, "nosm/lifo", 10),
+                (1, "nosm/lifo", 20),
+            ]
+        );
+        for (i, &expected) in got.iter().enumerate() {
+            let meta = grid.meta(i);
+            assert_eq!((meta.scenario, &*meta.label, meta.seed), expected);
+            assert_eq!(meta.variant, (i / 2) % 2);
+        }
+        // Variant configs land in the job configs; scenario mutations
+        // still apply.
+        assert_eq!(jobs[0].cfg.pool.strategy, CheckoutStrategy::Fifo);
+        assert_eq!(jobs[2].cfg.pool.strategy, CheckoutStrategy::Lifo);
+        assert!(jobs[2].cfg.straggler.is_some());
+        assert!(jobs[6].cfg.straggler.is_none());
+    }
+
+    #[test]
+    fn no_variant_axis_is_the_historical_grid() {
+        // Declaring zero variants must reproduce the exact labels,
+        // enumeration, and job count of the pre-variant grid.
+        let grid = small_grid();
+        assert_eq!(grid.n_variants(), 1);
+        assert_eq!(grid.n_jobs(), 6);
+        for (i, j) in grid.jobs().iter().enumerate() {
+            assert!(!j.label.contains('/'), "no variant suffix: {}", j.label);
+            assert_eq!(grid.meta(i).variant, 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_variant_labels_are_a_structured_error() {
+        let grid = Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs(4),
+            4,
+        )
+        .pool_variant("fifo", PoolConfig::default())
+        .pool_variant("fifo", PoolConfig::default());
+        let err = grid.try_run_all(Some(1)).unwrap_err();
+        assert_eq!(err, GridError::DuplicateVariant { label: "fifo".into() });
+        assert!(err.to_string().contains("\"fifo\""));
     }
 
     #[test]

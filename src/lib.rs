@@ -78,7 +78,8 @@ pub mod prelude {
     };
     pub use clamshell_core::batcher::{Batcher, BatcherConfig};
     pub use clamshell_core::config::{
-        MaintenanceConfig, MaintenanceObjective, QcMode, RunConfig, StragglerConfig,
+        CheckoutStrategy, MaintenanceConfig, MaintenanceObjective, PoolConfig, QcMode, RunConfig,
+        StragglerConfig,
     };
     pub use clamshell_core::learning::{LearningConfig, LearningOutcome, LearningRunner, Strategy};
     pub use clamshell_core::lifeguard::RoutingPolicy;
@@ -86,7 +87,7 @@ pub mod prelude {
     pub use clamshell_core::poolmodel::PoolModel;
     pub use clamshell_core::runner::{run_batched, Runner};
     pub use clamshell_core::task::TaskSpec;
-    pub use clamshell_crowd::{PlatformConfig, SimPlatform, WorkerId};
+    pub use clamshell_crowd::{MemberState, PlatformConfig, RetainerPool, SimPlatform, WorkerId};
     pub use clamshell_learn::datasets::digits::{digits, DigitsConfig};
     pub use clamshell_learn::datasets::generate::{make_classification, GenConfig};
     pub use clamshell_learn::datasets::objects::{objects, ObjectsConfig};
