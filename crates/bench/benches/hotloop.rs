@@ -224,7 +224,9 @@ fn bench_queues(c: &mut Criterion) {
 }
 
 /// End-to-end hot loop: one full 300-task SM+PM batch run (the `sweep`
-/// bench's cell workload), plus its allocation profile.
+/// bench's cell workload), plus its allocation profile — and the same
+/// cell with observability on, so the instrumentation's overhead is
+/// measured where it matters.
 fn bench_runner(c: &mut Criterion) {
     let mut g = c.benchmark_group("hotloop");
     g.bench_function("run_batched_300", |b| {
@@ -232,6 +234,15 @@ fn bench_runner(c: &mut Criterion) {
             let cfg = RunConfig { pool_size: 15, ng: 5, seed: 1, ..Default::default() }
                 .with_straggler()
                 .with_maintenance();
+            black_box(run_batched(cfg, Population::mturk_live(), specs(300, 5), 15))
+        })
+    });
+    g.bench_function("run_batched_300_obs", |b| {
+        b.iter(|| {
+            let cfg = RunConfig { pool_size: 15, ng: 5, seed: 1, ..Default::default() }
+                .with_straggler()
+                .with_maintenance()
+                .with_obs();
             black_box(run_batched(cfg, Population::mturk_live(), specs(300, 5), 15))
         })
     });
@@ -299,12 +310,40 @@ fn emit_baseline() {
          {labels} labels"
     );
 
+    // Observability overhead: the same cell with the metrics registry +
+    // flight recorder on, averaged over a few runs (the cell is fast
+    // enough that a single measurement is noise-dominated). The
+    // disabled path is re-measured the same way so the ratio compares
+    // like with like.
+    const OBS_REPS: u32 = 5;
+    let measure_cell = |mk: &dyn Fn() -> RunConfig| {
+        let _ = run_batched(mk(), Population::mturk_live(), specs(300, 5), 15);
+        let t0 = Instant::now();
+        for _ in 0..OBS_REPS {
+            black_box(run_batched(mk(), Population::mturk_live(), specs(300, 5), 15));
+        }
+        t0.elapsed().as_secs_f64() / OBS_REPS as f64
+    };
+    let disabled_secs = measure_cell(&|| cfg());
+    let enabled_secs = measure_cell(&|| cfg().with_obs());
+    let obs_ratio = enabled_secs / disabled_secs;
+    let obs_events = run_batched(cfg().with_obs(), Population::mturk_live(), specs(300, 5), 15)
+        .obs
+        .expect("instrumented run carries a report")
+        .recorded;
+    eprintln!(
+        "  baseline obs_overhead: disabled {disabled_secs:.4}s vs enabled {enabled_secs:.4}s \
+         ({obs_ratio:.3}x, {obs_events} events recorded)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"hotloop\",\n  \"workload\": \"hold pattern: pop earliest event + \
          schedule replacement at now+delta, fixed pending count; runner row is one 300-task \
          SM+PM run_batched cell\",\n  \"queue_hold\": [\n{rows}  ],\n  \"runner\": {{\n    \
          \"tasks\": 300, \"wall_secs\": {run_secs:.4}, \"alloc_calls\": {allocs}, \
-         \"alloc_bytes\": {bytes}, \"labels\": {labels}\n  }},\n  \"hardware\": \
+         \"alloc_bytes\": {bytes}, \"labels\": {labels}\n  }},\n  \"obs_overhead\": {{\n    \
+         \"disabled_secs\": {disabled_secs:.4}, \"enabled_secs\": {enabled_secs:.4}, \
+         \"ratio\": {obs_ratio:.3}, \"events_recorded\": {obs_events}\n  }},\n  \"hardware\": \
          \"{threads}-core container (std::thread::available_parallelism); wall-clock \
          measurement via the vendored criterion shim — absolute numbers are indicative, \
          ratios are the signal\",\n  \"generated_by\": \"cargo bench -p clamshell-bench \
@@ -324,6 +363,14 @@ fn emit_baseline() {
              (committed BENCH_hotloop.json left untouched)"
         );
     }
+    // Instrumentation must stay cheap: an enabled run may cost at most
+    // 50% over disabled (generous for container noise; the steady-state
+    // overhead is a branch per instrumentation point plus ring pushes).
+    assert!(
+        obs_ratio <= 1.5,
+        "observability overhead {obs_ratio:.3}x exceeds 1.5x \
+         (committed BENCH_hotloop.json left untouched)"
+    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotloop.json");
     std::fs::write(path, json).expect("write BENCH_hotloop.json");
     eprintln!("  baseline written to {path}");

@@ -8,6 +8,8 @@
 //! repro fig9 --seeds 5         # average over 5 seeds
 //! repro --all --threads 4      # sweep-engine worker threads
 //! repro --scenario churn       # one adversity scenario vs benign
+//! repro --scenario blackout --trace t.jsonl   # + flight-recorder JSONL
+//! repro --scenario churn --format json        # machine-readable report
 //! repro --help                 # usage (also -h)
 //! ```
 //!
@@ -16,14 +18,17 @@
 //! `--threads N` (env fallback `CLAMSHELL_THREADS`, default: available
 //! parallelism) only changes how fast sweeps run — the engine merges
 //! results in job-index order, so stdout is byte-identical at any
-//! thread count.
+//! thread count. `--trace` streams every scenario cell's flight
+//! recorder to a JSONL file (versioned schema, see
+//! `clamshell_obs::trace`); the recording draws no RNG values, so
+//! traced tables match untraced ones byte for byte.
 
-use clamshell_bench::{extra_registry, registry, util::Opts};
+use clamshell_bench::{extra_registry, registry, util::json_str, util::Opts};
 
 /// Usage text shared by `--help` and the no-argument listing.
 const USAGE: &str = "\
 usage: repro [--all] [--quick] [--seeds N] [--threads N] [--scenario NAME]
-             [--list] [name...]
+             [--trace PATH] [--format FMT] [--list] [name...]
 
   --all            run every experiment
   --quick          smaller workloads and a single seed (scale 0.25)
@@ -35,6 +40,12 @@ usage: repro [--all] [--quick] [--seeds N] [--threads N] [--scenario NAME]
   --scenario NAME  run one adversity scenario against the benign
                    baseline (see the scenario catalog in README);
                    repeatable; `--scenario list` lists names
+  --trace PATH     (with --scenario) write every cell's flight-recorder
+                   trace to PATH as JSONL: one header line plus one line
+                   per event per (scenario, seed), in job order
+  --format FMT     output format: text (default) or json; json applies
+                   to --scenario and --list, and is rejected with --all
+                   (its stdout is the recorded EXPERIMENTS.md transcript)
   --list           list experiments and exit
   --help, -h       this message";
 
@@ -46,6 +57,8 @@ fn main() {
     let mut seeds: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut scenarios: Vec<String> = Vec::new();
+    let mut trace: Option<std::path::PathBuf> = None;
+    let mut json = false;
     let mut picked: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -75,6 +88,26 @@ fn main() {
                 let name = args.get(i).expect("--scenario takes a name").clone();
                 scenarios.push(name);
             }
+            "--trace" => {
+                i += 1;
+                let path = args.get(i).expect("--trace takes a path").clone();
+                trace = Some(std::path::PathBuf::from(path));
+            }
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => json = false,
+                    Some("json") => json = true,
+                    Some(other) => {
+                        eprintln!("unknown format: {other} (text|json)");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("--format takes a value (text|json)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -82,6 +115,17 @@ fn main() {
             exp => picked.push(exp.to_string()),
         }
         i += 1;
+    }
+
+    // The --all transcript is the recorded EXPERIMENTS.md baseline;
+    // machine formats and traces must not ride on it.
+    if run_all && json {
+        eprintln!("--format json is not supported with --all (use --scenario or --list)");
+        std::process::exit(2);
+    }
+    if trace.is_some() && scenarios.is_empty() {
+        eprintln!("--trace requires --scenario");
+        std::process::exit(2);
     }
 
     // Compose flags after parsing so order never matters: `--quick`
@@ -117,12 +161,18 @@ fn main() {
             }
             return;
         }
-        banner(&opts);
-        for name in &scenarios {
-            if !clamshell_bench::experiments::adversity::single_scenario(&opts, name) {
-                eprintln!("unknown scenario: {name}; try --scenario list");
-                std::process::exit(2);
-            }
+        if !json {
+            banner(&opts);
+        }
+        let mode = clamshell_bench::experiments::adversity::scenario_mode(
+            &opts,
+            &scenarios,
+            json,
+            trace.as_deref(),
+        );
+        if let Err(msg) = mode {
+            eprintln!("{msg}; try --scenario list");
+            std::process::exit(2);
         }
         return;
     }
@@ -130,6 +180,27 @@ fn main() {
     let all = registry();
     let extra = extra_registry();
     if list || (!run_all && picked.is_empty()) {
+        if json {
+            let render = |exps: &[clamshell_bench::Experiment]| {
+                exps.iter()
+                    .map(|(name, desc, _)| {
+                        format!(
+                            "\n    {{\"name\": {}, \"description\": {}}}",
+                            json_str(name),
+                            json_str(desc)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            print!(
+                "{{\n  \"version\": 1,\n  \"report\": \"list\",\n  \"experiments\": [{}\n  ],\n  \
+                 \"extra\": [{}\n  ]\n}}\n",
+                render(&all),
+                render(&extra)
+            );
+            return;
+        }
         println!("experiments ({} total):", all.len());
         for (name, desc, _) in &all {
             println!("  {name:<10} {desc}");

@@ -167,6 +167,7 @@ pub fn run_open_market(
         stale_retired: 0,
         started: SimTime::ZERO,
         finished,
+        obs: None,
     }
 }
 

@@ -14,6 +14,7 @@ use clamshell_crowd::PlatformConfig;
 use serde::{Deserialize, Serialize};
 
 pub use clamshell_crowd::{CheckoutStrategy, PoolConfig};
+pub use clamshell_obs::ObsConfig;
 
 /// How straggler mitigation interacts with redundancy-based quality
 /// control (§4.1 "Working with Quality Control").
@@ -154,6 +155,10 @@ pub struct RunConfig {
     /// `None` is the benign run — bit-identical to a run predating the
     /// adversity machinery.
     pub adversity: Option<crate::adversity::AdversityConfig>,
+    /// Observability (metrics registry + flight recorder). Disabled by
+    /// default; an enabled run records events and metrics but draws zero
+    /// extra RNG values, so the simulation itself is unperturbed.
+    pub obs: ObsConfig,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -171,6 +176,7 @@ impl Default for RunConfig {
             churn: true,
             platform: PlatformConfig::default(),
             adversity: None,
+            obs: ObsConfig::default(),
             seed: 0,
         }
     }
@@ -197,6 +203,7 @@ impl RunConfig {
         if let Some(a) = &self.adversity {
             a.validate();
         }
+        self.obs.validate();
     }
 
     /// Convenience: layer an adversity configuration on.
@@ -227,6 +234,12 @@ impl RunConfig {
     /// Convenience: set the pool lifecycle knobs.
     pub fn with_pool(mut self, pool: PoolConfig) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Convenience: enable observability with the default ring capacity.
+    pub fn with_obs(mut self) -> Self {
+        self.obs = ObsConfig::on();
         self
     }
 }

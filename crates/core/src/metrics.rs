@@ -1,6 +1,7 @@
 //! Run reports: everything the figures consume.
 
 use clamshell_crowd::{CostLedger, WorkerId};
+use clamshell_obs::ObsReport;
 use clamshell_sim::stats::Summary;
 use clamshell_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -117,6 +118,9 @@ pub struct RunReport {
     pub started: SimTime,
     /// Run end (last task completion).
     pub finished: SimTime,
+    /// Observability report (metrics snapshot + flight-recorder tail);
+    /// `None` unless `RunConfig::obs.enabled`.
+    pub obs: Option<ObsReport>,
 }
 
 impl RunReport {
@@ -280,6 +284,7 @@ mod tests {
             stale_retired: 0,
             started: t(0),
             finished: t(25),
+            obs: None,
         }
     }
 

@@ -19,6 +19,7 @@ use crate::maintainer::Maintainer;
 use crate::metrics::{AssignmentRecord, BatchStats, RunReport, TaskRecord};
 use crate::task::{Assignment, AssignmentId, TaskId, TaskResponse, TaskSpec, TaskState};
 use clamshell_crowd::{RetainerPool, SimPlatform, WorkerId};
+use clamshell_obs::{RunObserver, TraceKind};
 use clamshell_quality::voting::{majority_vote, Vote};
 use clamshell_sim::events::EventQueue;
 use clamshell_sim::faults::{fault_stream, OutageSchedule};
@@ -106,6 +107,15 @@ pub struct Runner {
     /// Stale members lazily retired at checkout after a generation bump.
     stale_retired: u64,
 
+    // Observability (`None` when `cfg.obs` is disabled — the default).
+    // The disabled path costs one branch per instrumentation point and
+    // draws zero RNG values, so enabling obs never perturbs a run.
+    /// Metrics registry + flight recorder.
+    obs: Option<Box<RunObserver>>,
+    /// End of the outage window the runner last deferred into; when the
+    /// clock reaches it an `OutageResume` trace event is recorded.
+    obs_outage_resume: Option<SimTime>,
+
     // Reused scratch buffers for the per-assignment hot path. Each is
     // cleared before use; holding them on the runner means the event loop
     // stops allocating once the high-water marks are reached.
@@ -140,7 +150,13 @@ impl Runner {
                 SimDuration::from_secs_f64(o.mean_outage_secs),
             )
         });
-        let pool = RetainerPool::with_config(cfg.pool_size, cfg.pool);
+        let mut pool = RetainerPool::with_config(cfg.pool_size, cfg.pool);
+        let obs = if cfg.obs.enabled {
+            pool.enable_obs();
+            Some(Box::new(RunObserver::new(&cfg.obs)))
+        } else {
+            None
+        };
         let pool_idle =
             cfg.pool.idle_timeout.map(|t| (t, fault_stream(cfg.seed, streams::POOL_IDLE)));
         Runner {
@@ -175,6 +191,8 @@ impl Runner {
             last_outage_end: SimTime::ZERO,
             reserve_expired: 0,
             stale_retired: 0,
+            obs,
+            obs_outage_resume: None,
             votes_scratch: Vec::new(),
             eligible_scratch: Vec::new(),
             kick_scratch: Vec::new(),
@@ -308,6 +326,7 @@ impl Runner {
         for w in members {
             if let Some(wait) = self.pool.leave(w, now) {
                 self.platform.pay_wait(wait);
+                self.note_pool_leave(now, w);
             }
         }
         // Settle reserve wait from the accrual map itself, not the queue:
@@ -323,6 +342,14 @@ impl Runner {
         for (_, since) in owed {
             self.platform.pay_wait(now.since(since));
         }
+        // Fold the pool's transition aggregates into the registry, then
+        // collapse the observer into its serializable report.
+        let obs_report = self.obs.take().map(|mut obs| {
+            if let Some(pool_obs) = self.pool.obs() {
+                obs.absorb_pool(pool_obs);
+            }
+            obs.into_report()
+        });
         RunReport {
             tasks: self.task_records,
             assignments: self.assignment_records,
@@ -335,6 +362,22 @@ impl Runner {
             stale_retired: self.stale_retired,
             started: self.started.unwrap_or(SimTime::ZERO),
             finished: self.last_completion,
+            obs: obs_report,
+        }
+    }
+
+    /// Whether observability is enabled for this run.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Dump the flight-recorder tail to stderr as a JSONL section.
+    /// Called by [`run_batched`] when a batch panics, so the event trail
+    /// leading up to an invariant failure is never lost with the
+    /// process. A no-op when obs is disabled.
+    pub fn dump_obs(&self) {
+        if let Some(obs) = &self.obs {
+            let _ = obs.dump("panic-dump", self.cfg.seed, &mut std::io::stderr().lock());
         }
     }
 
@@ -343,6 +386,18 @@ impl Runner {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, ev: Event) {
+        if let Some(obs) = &mut self.obs {
+            // Queue-depth sample per handled event, and the outage-resume
+            // marker: the first event at/after the recorded recovery
+            // instant closes the outage window in the trace.
+            obs.note_queue_depth(self.queue.len() as u64);
+            if let Some(resume) = self.obs_outage_resume {
+                if self.queue.now() >= resume {
+                    self.obs_outage_resume = None;
+                    obs.record(self.queue.now(), TraceKind::OutageResume);
+                }
+            }
+        }
         // Outage hook: events that model a *platform interaction* — an
         // answer submission or a recruit admission — cannot happen while
         // the platform is down; they re-enter the queue at the recovery
@@ -352,6 +407,14 @@ impl Runner {
         if let Some(sched) = &mut self.outage {
             if matches!(ev, Event::AssignmentDone(_) | Event::WorkerReady) {
                 if let Some(recovery) = sched.defer(self.queue.now()) {
+                    if let Some(obs) = &mut self.obs {
+                        obs.record(
+                            self.queue.now(),
+                            TraceKind::OutageDefer { resume_ms: recovery.as_millis() },
+                        );
+                        let resume = self.obs_outage_resume.map_or(recovery, |r| r.max(recovery));
+                        self.obs_outage_resume = Some(resume);
+                    }
                     // Pool generations: the first deferral into each
                     // outage window bumps the generation — an O(1)
                     // counter increment, never a pool scan. Members from
@@ -428,6 +491,9 @@ impl Runner {
         let now = self.now();
         self.platform.pay_wait(now.since(since));
         self.reserve_expired += 1;
+        if let Some(obs) = &mut self.obs {
+            obs.record(now, TraceKind::ReserveTimeout { worker: w.0 });
+        }
     }
 
     fn join_pool(&mut self, w: WorkerId) {
@@ -438,6 +504,9 @@ impl Runner {
         }
         let joined = self.pool.join(w, now);
         debug_assert!(joined, "join_pool on full pool");
+        if let Some(obs) = &mut self.obs {
+            obs.record(now, TraceKind::PoolJoin { worker: w.0, occupancy: self.pool.len() as u64 });
+        }
         let patience = self.platform.sample_patience(w);
         self.patience.insert(w, patience);
         self.dispatch_worker(w);
@@ -464,8 +533,21 @@ impl Runner {
         let now = self.now();
         if let Some(wait) = self.pool.leave(w, now) {
             self.platform.pay_wait(wait);
+            self.note_pool_leave(now, w);
         }
         self.refill_vacancy();
+    }
+
+    /// Record a `PoolLeave` trace event (no-op when obs is disabled).
+    /// Called immediately after a successful `pool.leave`, so
+    /// `pool.len()` is the post-departure occupancy.
+    fn note_pool_leave(&mut self, now: SimTime, w: WorkerId) {
+        if let Some(obs) = &mut self.obs {
+            obs.record(
+                now,
+                TraceKind::PoolLeave { worker: w.0, occupancy: self.pool.len() as u64 },
+            );
+        }
     }
 
     /// Adversity churn: the worker walks out mid-assignment. No answer is
@@ -495,12 +577,16 @@ impl Runner {
         // working) and forget their pending patience bookkeeping.
         if self.pool.contains(w) {
             self.pool.leave(w, now);
+            self.note_pool_leave(now, w);
         }
         self.idle.remove(&w);
         self.patience.remove(&w);
         self.abandon_epoch.remove(&w);
         self.maintainer.note_walkout(w);
         self.workers_departed += 1;
+        if let Some(obs) = &mut self.obs {
+            obs.record(now, TraceKind::Walkout { worker: w.0, task: a.task.0, assignment: aid.0 });
+        }
         self.refill_vacancy();
         // The abandoned task lost coverage: point idle workers at it
         // (dispatch mutates `self.idle`, so snapshot into the reused
@@ -563,6 +649,17 @@ impl Runner {
             end: now,
             terminated: false,
         });
+        if let Some(obs) = &mut self.obs {
+            obs.record(
+                now,
+                TraceKind::AssignmentDone {
+                    worker: w.0,
+                    task: tid.0,
+                    assignment: aid.0,
+                    span_ms: span.as_millis(),
+                },
+            );
+        }
 
         // Quorum check.
         let responses = self.tasks[tid.0 as usize].responses.len();
@@ -804,10 +901,14 @@ impl Runner {
         let now = self.now();
         if let Some(wait) = self.pool.leave(w, now) {
             self.platform.pay_wait(wait);
+            self.note_pool_leave(now, w);
         }
         self.patience.remove(&w);
         self.abandon_epoch.remove(&w);
         self.stale_retired += 1;
+        if let Some(obs) = &mut self.obs {
+            obs.record(now, TraceKind::StaleRetired { worker: w.0 });
+        }
         self.refill_vacancy();
     }
 
@@ -817,6 +918,9 @@ impl Runner {
         *self.abandon_epoch.entry(w).or_insert(0) += 1;
         let waited = self.pool.start_work(w, now);
         self.platform.pay_wait(waited);
+        if let Some(obs) = &mut self.obs {
+            obs.record(now, TraceKind::Checkout { worker: w.0, waited_ms: waited.as_millis() });
+        }
 
         let ng = self.tasks[tid.0 as usize].spec.ng();
         let dur = self.platform.sample_task_duration(w, ng);
@@ -832,6 +936,9 @@ impl Runner {
         });
         self.tasks[tid.0 as usize].active.push(aid);
         self.maintainer.stats_mut(w).started += 1;
+        if let Some(obs) = &mut self.obs {
+            obs.record(now, TraceKind::Dispatch { worker: w.0, task: tid.0, assignment: aid.0 });
+        }
         // Churn fault: this assignment may end in a walkout instead of an
         // answer. Decided here, per assignment, from the dedicated churn
         // stream (two draws per affected assignment; zero impact on any
@@ -940,9 +1047,13 @@ impl Runner {
             let now = self.now();
             if let Some(wait) = self.pool.leave(w, now) {
                 self.platform.pay_wait(wait);
+                self.note_pool_leave(now, w);
             }
             self.maintainer.note_eviction();
             self.evicted_this_boundary += 1;
+            if let Some(obs) = &mut self.obs {
+                obs.record(now, TraceKind::MaintenanceEvict { worker: w.0 });
+            }
             // clamshell-lint: allow(D006) -- the eviction loop bound is min(evictions, reserve.len()), so the reserve cannot be empty here
             let replacement = self.reserve.pop_front().expect("checked non-empty");
             self.join_pool(replacement);
@@ -994,13 +1105,33 @@ pub fn run_batched(
     runner.reserve_tasks(specs.len());
     runner.warm_up();
     let mut iter = specs.into_iter().peekable();
-    while iter.peek().is_some() {
-        let take = match (&bursts, &mut burst_rng) {
-            (Some(b), Some(rng)) => b.min_batch + rng.index(b.max_batch - b.min_batch + 1),
-            _ => batch_size,
-        };
-        let chunk: Vec<TaskSpec> = iter.by_ref().take(take).collect();
-        runner.run_batch(chunk);
+    if runner.obs_enabled() {
+        // Instrumented runs dump the flight recorder before re-raising a
+        // batch panic, so the event tail survives invariant failures. The
+        // disabled path below stays free of the catch-unwind machinery.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            while iter.peek().is_some() {
+                let take = match (&bursts, &mut burst_rng) {
+                    (Some(b), Some(rng)) => b.min_batch + rng.index(b.max_batch - b.min_batch + 1),
+                    _ => batch_size,
+                };
+                let chunk: Vec<TaskSpec> = iter.by_ref().take(take).collect();
+                runner.run_batch(chunk);
+            }
+        }));
+        if let Err(payload) = outcome {
+            runner.dump_obs();
+            std::panic::resume_unwind(payload);
+        }
+    } else {
+        while iter.peek().is_some() {
+            let take = match (&bursts, &mut burst_rng) {
+                (Some(b), Some(rng)) => b.min_batch + rng.index(b.max_batch - b.min_batch + 1),
+                _ => batch_size,
+            };
+            let chunk: Vec<TaskSpec> = iter.by_ref().take(take).collect();
+            runner.run_batch(chunk);
+        }
     }
     runner.finish()
 }
@@ -1363,6 +1494,80 @@ mod tests {
         assert!(r.pool().len() <= r.pool().capacity());
         let report = r.finish();
         assert_eq!(report.tasks.len(), 8);
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    use crate::config::ObsConfig;
+
+    #[test]
+    fn obs_disabled_by_default_and_absent_from_report() {
+        let report = run_batched(base_cfg(40), pop(), specs(8, 5), 8);
+        assert!(report.obs.is_none(), "default runs carry no obs report");
+    }
+
+    #[test]
+    fn obs_enabled_does_not_perturb_the_simulation() {
+        // The whole zero-overhead contract in one assertion: strip the
+        // obs ride-along and the instrumented report is byte-identical
+        // to the plain one — same RNG draws, same schedule, same costs.
+        let plain = run_batched(base_cfg(41), pop(), specs(16, 5), 8);
+        let cfg = RunConfig { obs: ObsConfig::on(), ..base_cfg(41) };
+        let mut instrumented = run_batched(cfg, pop(), specs(16, 5), 8);
+        let obs = instrumented.obs.take().expect("enabled run must attach obs");
+        assert!(!obs.events.is_empty(), "an instrumented run records events");
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&instrumented).unwrap()
+        );
+    }
+
+    #[test]
+    fn obs_trace_is_deterministic_and_fingerprinted() {
+        let cfg = || {
+            RunConfig { obs: ObsConfig::on(), ..base_cfg(42) }.with_straggler().with_maintenance()
+        };
+        let a = run_batched(cfg(), pop(), specs(16, 5), 8).obs.unwrap();
+        let b = run_batched(cfg(), pop(), specs(16, 5), 8).obs.unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.render_jsonl("unit", 42), b.render_jsonl("unit", 42));
+        assert_eq!(
+            a.fingerprint,
+            clamshell_obs::trace::fingerprint_events(a.events.iter()),
+            "committed fingerprint must re-derive from the events"
+        );
+    }
+
+    #[test]
+    fn obs_dispatch_and_done_counts_match_the_ledger() {
+        let cfg = RunConfig { obs: ObsConfig::on(), ..base_cfg(43) };
+        let report = run_batched(cfg, pop(), specs(16, 5), 8);
+        let obs = report.obs.as_ref().unwrap();
+        assert_eq!(
+            obs.counter("runner.dispatch") as usize,
+            report.assignments.len(),
+            "every assignment record begins with a dispatch"
+        );
+        let done: usize = report.assignments.iter().filter(|a| !a.terminated).count();
+        assert_eq!(obs.counter("runner.assignment_done") as usize, done);
+        // Checkout events (runner-side) and pool checkouts (pool-side)
+        // are recorded by independent code paths; they must agree.
+        assert_eq!(obs.counter("runner.checkout"), obs.counter("runner.dispatch"));
+        assert_eq!(obs.counter("pool.join"), obs.counter("pool.leave"));
+    }
+
+    #[test]
+    fn obs_small_ring_drops_oldest_but_keeps_counts() {
+        let cfg = RunConfig { obs: ObsConfig::with_ring(8), ..base_cfg(44) };
+        let report = run_batched(cfg, pop(), specs(16, 5), 8);
+        let obs = report.obs.unwrap();
+        assert_eq!(obs.events.len(), 8);
+        assert!(obs.dropped > 0, "a tiny ring must evict");
+        assert_eq!(obs.dropped + obs.events.len() as u64, obs.recorded);
+        // Counters are not bounded by the ring.
+        assert!(obs.counter("runner.dispatch") > 8);
     }
 
     // ------------------------------------------------------------------

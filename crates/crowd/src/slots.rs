@@ -28,6 +28,7 @@
 //! like the flat slot set it replaced — byte-identical runs.
 
 use crate::platform::WorkerId;
+use clamshell_obs::PoolObs;
 use clamshell_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -107,6 +108,10 @@ pub struct RetainerPool {
     config: PoolConfig,
     generation: u64,
     members: BTreeMap<WorkerId, Member>,
+    /// Transition counters, present only when the run has observability
+    /// enabled. `None` (the default) records nothing and keeps the pool
+    /// byte-identical to a pre-obs build.
+    obs: Option<PoolObs>,
 }
 
 impl RetainerPool {
@@ -125,7 +130,20 @@ impl RetainerPool {
                 "pool min_size must be in 1..=capacity ({min} vs {capacity})"
             );
         }
-        RetainerPool { capacity, config, generation: 0, members: BTreeMap::new() }
+        RetainerPool { capacity, config, generation: 0, members: BTreeMap::new(), obs: None }
+    }
+
+    /// Start counting pool state transitions (called by the runner when
+    /// `ObsConfig.enabled`). Idempotent; existing counts are kept.
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(PoolObs::new());
+        }
+    }
+
+    /// The transition counters, if observability is enabled.
+    pub fn obs(&self) -> Option<&PoolObs> {
+        self.obs.as_ref()
     }
 
     /// Target size `Np`.
@@ -214,6 +232,9 @@ impl RetainerPool {
                 completed: 0,
             },
         );
+        if let Some(obs) = &mut self.obs {
+            obs.note_join(self.members.len() as u64);
+        }
         true
     }
 
@@ -222,6 +243,13 @@ impl RetainerPool {
     /// `None` if the worker was not a member.
     pub fn leave(&mut self, w: WorkerId, now: SimTime) -> Option<SimDuration> {
         let m = self.members.remove(&w)?;
+        if let Some(obs) = &mut self.obs {
+            // A working member departing also vacates its checkout.
+            if matches!(m.state, MemberState::Working { .. }) {
+                obs.note_checkin();
+            }
+            obs.note_leave(self.members.len() as u64);
+        }
         Some(match m.state {
             MemberState::Waiting { since } => now.since(since),
             MemberState::Working { .. } => SimDuration::ZERO,
@@ -243,14 +271,18 @@ impl RetainerPool {
     /// worker is not a waiting member — that is a scheduler bug.
     pub fn start_work(&mut self, w: WorkerId, now: SimTime) -> SimDuration {
         let m = self.members.get_mut(&w).expect("start_work: not a member");
-        match m.state {
+        let waited = match m.state {
             MemberState::Waiting { since } => {
                 m.state = MemberState::Working { since: now };
                 m.started += 1;
                 now.since(since)
             }
             MemberState::Working { .. } => panic!("start_work: {w} already working"),
+        };
+        if let Some(obs) = &mut self.obs {
+            obs.note_checkout();
         }
+        waited
     }
 
     /// Transition a working worker back to waiting. `completed` records
@@ -258,7 +290,7 @@ impl RetainerPool {
     /// work duration.
     pub fn finish_work(&mut self, w: WorkerId, now: SimTime, completed: bool) -> SimDuration {
         let m = self.members.get_mut(&w).expect("finish_work: not a member");
-        match m.state {
+        let worked = match m.state {
             MemberState::Working { since } => {
                 m.state = MemberState::Waiting { since: now };
                 if completed {
@@ -267,7 +299,11 @@ impl RetainerPool {
                 now.since(since)
             }
             MemberState::Waiting { .. } => panic!("finish_work: {w} not working"),
+        };
+        if let Some(obs) = &mut self.obs {
+            obs.note_checkin();
         }
+        worked
     }
 
     /// Workers currently idle, in deterministic (id) order.
@@ -451,6 +487,38 @@ mod tests {
         let mut order = vec![WorkerId(0), WorkerId(1), WorkerId(2)];
         p.order_checkouts(&mut order);
         assert_eq!(order, vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
+    }
+
+    #[test]
+    fn obs_disabled_by_default_and_counts_when_enabled() {
+        let mut p = RetainerPool::new(3);
+        assert!(p.obs().is_none(), "obs must be opt-in");
+        p.enable_obs();
+        p.join(WorkerId(0), t(0));
+        p.join(WorkerId(1), t(0));
+        p.start_work(WorkerId(0), t(5));
+        p.finish_work(WorkerId(0), t(10), true);
+        p.leave(WorkerId(1), t(12));
+        let obs = p.obs().expect("enabled");
+        assert_eq!(obs.joins, 2);
+        assert_eq!(obs.leaves, 1);
+        assert_eq!(obs.checkouts, 1);
+        assert_eq!(obs.checkins, 1);
+        assert_eq!(obs.occupancy_hwm, 2);
+    }
+
+    #[test]
+    fn obs_counts_working_departure_as_checkin() {
+        let mut p = RetainerPool::new(2);
+        p.enable_obs();
+        p.join(WorkerId(0), t(0));
+        p.start_work(WorkerId(0), t(1));
+        // Walkout mid-assignment: the checkout must still be balanced.
+        p.leave(WorkerId(0), t(2));
+        let obs = p.obs().expect("enabled");
+        assert_eq!(obs.checkouts, 1);
+        assert_eq!(obs.checkins, 1);
+        assert_eq!(obs.leaves, 1);
     }
 
     #[test]

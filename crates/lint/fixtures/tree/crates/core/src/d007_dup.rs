@@ -1,0 +1,5 @@
+//! D007 fixture: the duplicate-name partner file. `"fixture.dup"` is
+//! also declared in crates/obs/src/d007.rs, as an *event* name — metric
+//! and event names share one pool, so this still collides.
+
+pub const FIX_DUP_B: EventName = EventName("fixture.dup");

@@ -1,0 +1,18 @@
+//! D007 fixture: metric/trace-event name hygiene.
+
+pub struct MetricName(pub &'static str);
+pub struct EventName(pub &'static str);
+
+// A unique literal: clean.
+pub const FIX_GOOD: MetricName = MetricName("fixture.good");
+
+// Duplicated in crates/core/src/d007_dup.rs: fires at both sites.
+pub const FIX_DUP_A: MetricName = MetricName("fixture.dup");
+
+// Non-literal name argument: fires.
+pub fn named(n: &'static str) -> MetricName {
+    MetricName(n)
+}
+
+// clamshell-lint: allow(D007) -- fixture witness: boundary adapter may forward foreign names
+pub fn adapted(n: &'static str) -> EventName { EventName(n) }

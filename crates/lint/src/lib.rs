@@ -18,6 +18,7 @@
 //! | D004 | error    | RNG stream labels that are not literals/consts, or collide |
 //! | D005 | warning  | `unsafe` without a `// SAFETY:` comment |
 //! | D006 | warning  | `unwrap()`/`expect()` in runner/sweep hot-path library code |
+//! | D007 | error    | `MetricName`/`EventName` args that are not unique string literals |
 //!
 //! Violations are suppressible only with an inline, *reasoned* pragma —
 //! `// clamshell-lint: allow(D004) -- why this is sound` — which the
@@ -186,6 +187,42 @@ mod tests {
         let report = lint_sources(&[(
             "crates/crowd/src/p.rs",
             "fn f(rng: &mut Rng, id: u32) {\n    // clamshell-lint: allow(D004) -- per-worker fork namespaced by parent\n    let r = rng.fork(id as u64);\n}\n",
+        )]);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(report.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn d007_requires_same_line_string_literals() {
+        let report = lint_sources(&[(
+            "crates/obs/src/x.rs",
+            "pub fn named(n: &'static str) -> MetricName { MetricName(n) }\n",
+        )]);
+        assert_eq!(rules_of(&report), vec!["D007"]);
+        let report = lint_sources(&[(
+            "crates/obs/src/x.rs",
+            "pub const A: MetricName = MetricName(\"pool.join\");\n",
+        )]);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn d007_cross_file_duplicates_pool_metrics_and_events() {
+        let report = lint_sources(&[
+            ("crates/obs/src/a.rs", "pub const A: MetricName = MetricName(\"runner.walkout\");\n"),
+            ("crates/core/src/b.rs", "pub const B: EventName = EventName(\"runner.walkout\");\n"),
+        ]);
+        let d007: Vec<_> = report.diagnostics.iter().filter(|d| d.rule == "D007").collect();
+        assert_eq!(d007.len(), 2, "{:?}", report.diagnostics);
+        assert!(d007[0].message.contains("runner.walkout"), "{}", d007[0].message);
+        assert!(d007[0].message.contains("crates/obs/src/a.rs:1"), "{}", d007[0].message);
+    }
+
+    #[test]
+    fn d007_dynamic_name_needs_pragma() {
+        let report = lint_sources(&[(
+            "crates/obs/src/x.rs",
+            "// clamshell-lint: allow(D007) -- adapter maps foreign names at the boundary\npub fn named(n: &'static str) -> EventName { EventName(n) }\n",
         )]);
         assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
         assert_eq!(report.suppressed.len(), 1);

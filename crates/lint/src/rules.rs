@@ -13,11 +13,11 @@ use crate::scan::Scanned;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Rule ids that an `allow(...)` pragma may name.
-pub const SUPPRESSIBLE: &[&str] = &["D001", "D002", "D003", "D004", "D005", "D006"];
+pub const SUPPRESSIBLE: &[&str] = &["D001", "D002", "D003", "D004", "D005", "D006", "D007"];
 
 /// Crates whose library code must uphold the full determinism contract.
 const DETERMINISTIC_CRATES: &[&str] =
-    &["core", "sim", "crowd", "sweep", "scenarios", "quality", "trace", "learn", "root"];
+    &["core", "sim", "crowd", "sweep", "scenarios", "quality", "trace", "learn", "obs", "root"];
 
 /// The only places allowed to read the process environment (D003):
 /// thread-count resolution and the golden-master bless flag.
@@ -48,6 +48,17 @@ struct LabelSite {
     allow: Option<(usize, String)>,
 }
 
+/// A `MetricName(` / `EventName(` constructor site whose argument was a
+/// plain string literal; metric and event names share one uniqueness
+/// pool (a metric may not shadow an event discriminator or vice versa).
+struct NameSite {
+    file: String,
+    line: usize,
+    value: String,
+    /// Reason from a D007 pragma covering this site, if any.
+    allow: Option<(usize, String)>,
+}
+
 pub struct Engine {
     diags: Vec<Diagnostic>,
     suppressed: Vec<Suppression>,
@@ -58,6 +69,7 @@ pub struct Engine {
     /// Integer-literal consts: final segment name -> observed values.
     consts: BTreeMap<String, BTreeSet<u64>>,
     label_sites: Vec<LabelSite>,
+    name_sites: Vec<NameSite>,
     files_scanned: usize,
 }
 
@@ -76,6 +88,7 @@ impl Engine {
             all_pragmas: Vec::new(),
             consts: BTreeMap::new(),
             label_sites: Vec::new(),
+            name_sites: Vec::new(),
             files_scanned: 0,
         }
     }
@@ -132,6 +145,7 @@ impl Engine {
                     );
                 }
                 self.check_labels(spec, scanned, no);
+                self.check_names(spec, scanned, no);
             }
 
             if spec.crate_key != "bench"
@@ -238,6 +252,58 @@ impl Engine {
         }
     }
 
+    /// D007 per-line half: `MetricName(` / `EventName(` constructor
+    /// sites must take a plain string literal on the same line. The
+    /// literal value is read from the *raw* source (blanking erased it);
+    /// sites are pooled for the workspace-wide uniqueness check in
+    /// [`Engine::finalize`].
+    fn check_names(&mut self, spec: &SourceSpec, scanned: &Scanned, no: usize) {
+        let line = &scanned.lines[no - 1];
+        for callee in ["MetricName(", "EventName("] {
+            let code_sites = call_sites(line.code.as_str(), callee);
+            if code_sites.is_empty() {
+                continue;
+            }
+            let raw_sites = call_sites(line.raw.as_str(), callee);
+            let kind = &callee[..callee.len() - 1];
+            if raw_sites.len() != code_sites.len() {
+                // A comment or string on the same line also mentions the
+                // constructor; refuse to guess which occurrence is which.
+                self.emit(
+                    spec,
+                    scanned,
+                    no,
+                    "D007",
+                    format!("{kind} call site is ambiguous on this line"),
+                    D007_HINT,
+                );
+                continue;
+            }
+            for open in raw_sites {
+                match leading_str_literal(&line.raw[open..]) {
+                    Some(value) => {
+                        let allow =
+                            scanned.suppressor(no, "D007").map(|p| (p.line, p.reason.clone()));
+                        self.name_sites.push(NameSite {
+                            file: spec.rel.clone(),
+                            line: no,
+                            value,
+                            allow,
+                        });
+                    }
+                    None => self.emit(
+                        spec,
+                        scanned,
+                        no,
+                        "D007",
+                        format!("{kind} argument is not a plain same-line string literal"),
+                        D007_HINT,
+                    ),
+                }
+            }
+        }
+    }
+
     /// Emit `rule` at `line` unless an allow pragma suppresses it.
     /// Severity is a property of the rule itself: D005/D006 warn,
     /// every other determinism rule is an error.
@@ -272,27 +338,40 @@ impl Engine {
         }
     }
 
-    /// Like [`Engine::emit`] but for finalize-time D004 findings, where
-    /// the suppressing pragma was already resolved at scan time.
-    fn emit_site(&mut self, site: &LabelSite, message: String) {
-        if let Some((pline, reason)) = &site.allow {
-            self.used_pragmas.insert((site.file.clone(), *pline));
+    /// Like [`Engine::emit`] but for finalize-time findings (D004/D007
+    /// cross-file checks), where the suppressing pragma was already
+    /// resolved at scan time.
+    fn emit_resolved(
+        &mut self,
+        file: &str,
+        line: usize,
+        allow: &Option<(usize, String)>,
+        rule: &'static str,
+        message: String,
+        hint: &'static str,
+    ) {
+        if let Some((pline, reason)) = allow {
+            self.used_pragmas.insert((file.to_string(), *pline));
             self.suppressed.push(Suppression {
-                file: site.file.clone(),
-                line: site.line,
-                rule: "D004",
+                file: file.to_string(),
+                line,
+                rule,
                 reason: reason.clone(),
             });
         } else {
             self.diags.push(Diagnostic {
-                file: site.file.clone(),
-                line: site.line,
-                rule: "D004",
+                file: file.to_string(),
+                line,
+                rule,
                 severity: Severity::Error,
                 message,
-                hint: D004_HINT,
+                hint,
             });
         }
+    }
+
+    fn emit_site(&mut self, site: &LabelSite, message: String) {
+        self.emit_resolved(&site.file, site.line, &site.allow, "D004", message, D004_HINT);
     }
 
     pub fn finalize(mut self) -> LintReport {
@@ -355,6 +434,44 @@ impl Engine {
                 );
             }
         }
+        // D007 cross-file half: metric/event name literals must be
+        // unique workspace-wide, so two subsystems can never silently
+        // write to the same registry key or `"ev"` discriminator.
+        let name_sites = std::mem::take(&mut self.name_sites);
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, site) in name_sites.iter().enumerate() {
+            by_name.entry(site.value.as_str()).or_default().push(i);
+        }
+        for (value, group) in by_name {
+            if group.len() < 2 {
+                continue;
+            }
+            let locations: Vec<String> = group
+                .iter()
+                .map(|&i| format!("{}:{}", name_sites[i].file, name_sites[i].line))
+                .collect();
+            for (gi, &i) in group.iter().enumerate() {
+                let others: Vec<&str> = locations
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != gi)
+                    .map(|(_, l)| l.as_str())
+                    .collect();
+                let site = &name_sites[i];
+                self.emit_resolved(
+                    &site.file,
+                    site.line,
+                    &site.allow,
+                    "D007",
+                    format!(
+                        "metric/event name \"{value}\" is also declared at {} — shared names \
+                         silently merge unrelated instrumentation",
+                        others.join(", ")
+                    ),
+                    D007_HINT,
+                );
+            }
+        }
         // Pragmas that never fired keep the allowlist honest.
         for (file, line, rule) in &self.all_pragmas {
             if !self.used_pragmas.contains(&(file.clone(), *line)) {
@@ -380,6 +497,9 @@ impl Engine {
 
 const D004_HINT: &str = "stream labels must be integer literals or named literal consts so \
                          uniqueness is statically checkable";
+
+const D007_HINT: &str = "metric/trace-event names must be `&'static str` literals declared once \
+                         (see crates/obs/src/name.rs) so uniqueness is statically checkable";
 
 // ---------------------------------------------------------------------
 // Token helpers
@@ -427,9 +547,10 @@ fn reads_env(code: &str) -> bool {
 }
 
 /// Offsets just past the opening parenthesis of each call of `callee`
-/// (which must end with `(`). Function definitions (`fn name(`) are
-/// skipped. Patterns starting with `.` are method calls and need no
-/// left-boundary check (the receiver legitimately precedes them).
+/// (which must end with `(`). Function and tuple-struct definitions
+/// (`fn name(`, `struct Name(`) are skipped. Patterns starting with `.`
+/// are method calls and need no left-boundary check (the receiver
+/// legitimately precedes them).
 fn call_sites(code: &str, callee: &str) -> Vec<usize> {
     let method = callee.starts_with('.');
     let mut out = Vec::new();
@@ -438,13 +559,34 @@ fn call_sites(code: &str, callee: &str) -> Vec<usize> {
     while let Some(pos) = code[start..].find(callee) {
         let i = start + pos;
         let left_ok = method || i == 0 || !is_ident_char(bytes[i - 1]);
-        let is_def = code[..i].trim_end().ends_with("fn");
+        let before = code[..i].trim_end();
+        let is_def = before.ends_with("fn") || before.ends_with("struct");
         if left_ok && !is_def {
             out.push(i + callee.len());
         }
         start = i + 1;
     }
     out
+}
+
+/// Parse `"<value>")` at the start of `s` (leading whitespace allowed):
+/// a plain string literal immediately closed by the call's `)`. Returns
+/// the raw text between the quotes.
+fn leading_str_literal(s: &str) -> Option<String> {
+    let rest = s.trim_start().strip_prefix('"')?;
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                let after = rest[i + 1..].trim_start();
+                return after.starts_with(')').then(|| rest[..i].to_string());
+            }
+            _ => i += 1,
+        }
+    }
+    None
 }
 
 /// Top-level comma-split of the arguments of a call whose opening paren
@@ -589,6 +731,22 @@ mod tests {
         assert!(map.get("STREAM_A").is_some_and(|s| s.contains(&0xA2C4_0001)));
         assert!(map.contains_key("CHURN"));
         assert!(!map.contains_key("NAME"));
+    }
+
+    #[test]
+    fn str_literals() {
+        assert_eq!(leading_str_literal("\"runner.checkout\")"), Some("runner.checkout".into()));
+        assert_eq!(leading_str_literal("  \"x\" )"), Some("x".into()));
+        assert_eq!(leading_str_literal("\"a\\\"b\")"), Some("a\\\"b".into()));
+        assert_eq!(leading_str_literal("name)"), None, "variable is not a literal");
+        assert_eq!(leading_str_literal("\"x\".trim())"), None, "literal must close the call");
+        assert_eq!(leading_str_literal("concat!(\"a\", \"b\"))"), None);
+    }
+
+    #[test]
+    fn call_site_skips_tuple_struct_definition() {
+        assert!(call_sites("pub struct MetricName(pub &'static str);", "MetricName(").is_empty());
+        assert_eq!(call_sites("MetricName(\"x\")", "MetricName(").len(), 1);
     }
 
     #[test]

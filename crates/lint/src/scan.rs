@@ -21,10 +21,13 @@ pub enum Region {
 /// *contents* blanked with spaces (delimiters kept), so substring and
 /// token searches only ever see real code. `comment` holds the text of
 /// any comment on the line (used for pragma and `// SAFETY:` detection).
+/// `raw` is the unmodified source line, for the few rules (D007) that
+/// must read string-literal *values* the blanking erased.
 #[derive(Debug)]
 pub struct Line {
     pub code: String,
     pub comment: String,
+    pub raw: String,
     pub region: Region,
 }
 
@@ -72,6 +75,9 @@ pub const PRAGMA_MARKER: &str = "clamshell-lint:";
 
 pub fn scan(src: &str, known_rules: &[&str]) -> Scanned {
     let mut lines = strip(src);
+    for (line, raw) in lines.iter_mut().zip(src.lines()) {
+        line.raw = raw.to_string();
+    }
     mark_regions(&mut lines);
     let (pragmas, issues) = parse_pragmas(&lines, known_rules);
     Scanned { lines, pragmas, issues }
@@ -153,6 +159,7 @@ fn strip(src: &str) -> Vec<Line> {
             out.push(Line {
                 code: std::mem::take(&mut code),
                 comment: std::mem::take(&mut comment),
+                raw: String::new(),
                 region: Region::Lib,
             });
             i += 1;
@@ -244,7 +251,7 @@ fn strip(src: &str) -> Vec<Line> {
         }
     }
     if !code.is_empty() || !comment.is_empty() {
-        out.push(Line { code, comment, region: Region::Lib });
+        out.push(Line { code, comment, raw: String::new(), region: Region::Lib });
     }
     out
 }

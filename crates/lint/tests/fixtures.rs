@@ -28,7 +28,7 @@ fn suppressed_count(report: &clamshell_lint::LintReport, file: &str, rule: &str)
 fn bad_tree_fires_every_rule() {
     let report = lint_root(&fixture_root("tree")).expect("lint fixtures/tree");
     let fired: BTreeSet<String> = report.diagnostics.iter().map(|d| d.rule.to_string()).collect();
-    for rule in ["D001", "D002", "D003", "D004", "D005", "D006", "P001", "P002", "P003"] {
+    for rule in ["D001", "D002", "D003", "D004", "D005", "D006", "D007", "P001", "P002", "P003"] {
         assert!(fired.contains(rule), "expected {rule} to fire in fixtures/tree; fired: {fired:?}");
     }
 }
@@ -37,7 +37,7 @@ fn bad_tree_fires_every_rule() {
 fn bad_tree_suppresses_every_suppressible_rule() {
     let report = lint_root(&fixture_root("tree")).expect("lint fixtures/tree");
     let seen: BTreeSet<String> = report.suppressed.iter().map(|s| s.rule.to_string()).collect();
-    for rule in ["D001", "D002", "D003", "D004", "D005", "D006"] {
+    for rule in ["D001", "D002", "D003", "D004", "D005", "D006", "D007"] {
         assert!(seen.contains(rule), "expected a suppression witness for {rule}; saw: {seen:?}");
     }
 }
@@ -108,6 +108,26 @@ fn d004_dynamic_labels_fire_and_suppress() {
     // and the 0x00AC label is unique.
     assert_eq!(count(&report, "crates/crowd/src/d004_second.rs", "D004"), 1);
     assert_eq!(suppressed_count(&report, "crates/crowd/src/d004_second.rs", "D004"), 1);
+}
+
+#[test]
+fn d007_name_hygiene() {
+    let report = lint_root(&fixture_root("tree")).expect("lint fixtures/tree");
+    let obs = "crates/obs/src/d007.rs";
+    let core = "crates/core/src/d007_dup.rs";
+    // obs fixture: one non-literal argument + one half of the cross-file
+    // duplicate; the other dynamic-name site is pragma-suppressed.
+    assert_eq!(count(&report, obs, "D007"), 2);
+    assert_eq!(suppressed_count(&report, obs, "D007"), 1);
+    // The duplicate fires at the partner site too, naming the obs site.
+    assert_eq!(count(&report, core, "D007"), 1);
+    let dup = report
+        .diagnostics
+        .iter()
+        .find(|d| d.file == core && d.rule == "D007")
+        .expect("duplicate diagnostic at the core site");
+    assert!(dup.message.contains("fixture.dup"), "{}", dup.message);
+    assert!(dup.message.contains("crates/obs/src/d007.rs"), "{}", dup.message);
 }
 
 #[test]

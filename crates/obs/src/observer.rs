@@ -1,0 +1,290 @@
+//! The per-run observer owned by an enabled `Runner`, and the
+//! serializable [`ObsReport`] it collapses into at `finish()`.
+
+use std::io::Write;
+
+use clamshell_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ObsConfig;
+use crate::name::names;
+use crate::pool::PoolObs;
+use crate::recorder::{FlightRecorder, TraceEvent, TraceKind, KIND_COUNTERS};
+use crate::registry::{Histogram, MetricsRegistry, MetricsSnapshot};
+use crate::registry::{HistogramSnapshot, OCCUPANCY_BOUNDS, QUEUE_DEPTH_BOUNDS, SPAN_BOUNDS_MS};
+use crate::trace::{self, TRACE_SCHEMA_VERSION};
+
+/// Live observability state for one run: the metrics registry plus the
+/// flight recorder. Constructed only when `ObsConfig.enabled`; the
+/// disabled path holds `None` and costs one branch per instrumentation
+/// point.
+///
+/// The per-event counters and histograms live in flat fields (array
+/// index / bucket scan, no map lookup) so an enabled run stays cheap on
+/// the hot path; they fold into the ordered registry once, at
+/// [`RunObserver::into_report`].
+#[derive(Debug, Clone)]
+pub struct RunObserver {
+    pub registry: MetricsRegistry,
+    pub recorder: FlightRecorder,
+    /// Per-kind event counts, indexed by [`TraceKind::index`].
+    kind_counts: [u64; TraceKind::COUNT],
+    /// Assignment-span histogram (`runner.assignment_span_ms`).
+    span: Histogram,
+    /// Ready-queue depth histogram (`runner.queue_depth`).
+    queue_depth: Histogram,
+    /// Ready-queue high-water mark (`runner.queue_depth_hwm`).
+    queue_depth_hwm: u64,
+    /// Queue-depth samples taken (0 = the gauge/histogram never existed).
+    queue_samples: u64,
+}
+
+impl RunObserver {
+    pub fn new(cfg: &ObsConfig) -> Self {
+        cfg.validate();
+        RunObserver {
+            registry: MetricsRegistry::new(),
+            recorder: FlightRecorder::new(cfg.ring_capacity),
+            kind_counts: [0; TraceKind::COUNT],
+            span: Histogram::new(SPAN_BOUNDS_MS),
+            queue_depth: Histogram::new(QUEUE_DEPTH_BOUNDS),
+            queue_depth_hwm: 0,
+            queue_samples: 0,
+        }
+    }
+
+    /// Record a structured event: appends to the ring, bumps the
+    /// matching counter, and feeds the latency histogram for
+    /// `AssignmentDone`.
+    pub fn record(&mut self, at: SimTime, kind: TraceKind) {
+        self.kind_counts[kind.index()] += 1;
+        if let TraceKind::AssignmentDone { span_ms, .. } = kind {
+            self.span.observe(span_ms);
+        }
+        self.recorder.record(at.as_millis(), kind);
+    }
+
+    /// Sample the ready-queue depth (histogram + high-water gauge).
+    pub fn note_queue_depth(&mut self, depth: u64) {
+        self.queue_samples += 1;
+        self.queue_depth.observe(depth);
+        if depth > self.queue_depth_hwm {
+            self.queue_depth_hwm = depth;
+        }
+    }
+
+    /// Fold the flat hot-path state into the ordered registry. Idempotent
+    /// only in the trivial sense (the flat fields are left untouched), so
+    /// it runs exactly once, from [`Self::into_report`].
+    fn fold_hot_state(&mut self) {
+        for (i, &n) in self.kind_counts.iter().enumerate() {
+            if n > 0 {
+                self.registry.add(KIND_COUNTERS[i], n);
+            }
+        }
+        if self.span.total() > 0 {
+            self.registry.absorb_histogram(
+                names::RUNNER_ASSIGNMENT_SPAN_MS,
+                SPAN_BOUNDS_MS,
+                self.span.counts(),
+            );
+        }
+        if self.queue_samples > 0 {
+            self.registry.absorb_histogram(
+                names::RUNNER_QUEUE_DEPTH,
+                QUEUE_DEPTH_BOUNDS,
+                self.queue_depth.counts(),
+            );
+            self.registry.gauge_max(names::RUNNER_QUEUE_DEPTH_HWM, self.queue_depth_hwm);
+        }
+    }
+
+    /// Fold the pool's transition counters into the shared registry.
+    /// Join/leave/checkout *counters* already arrive via trace events,
+    /// so only the pool-local aggregates (check-ins, occupancy
+    /// distribution and high-water mark) are absorbed here; the overlap
+    /// is deliberately kept separate so the reconciliation tests can
+    /// cross-check the two code paths against each other.
+    pub fn absorb_pool(&mut self, pool: &PoolObs) {
+        self.registry.add(names::POOL_CHECKIN, pool.checkins);
+        self.registry.gauge_max(names::POOL_OCCUPANCY_HWM, pool.occupancy_hwm);
+        self.registry.absorb_histogram(
+            names::POOL_OCCUPANCY,
+            OCCUPANCY_BOUNDS,
+            &pool.occupancy_counts,
+        );
+    }
+
+    /// Collapse into the serializable report that rides on `RunReport`.
+    pub fn into_report(mut self) -> ObsReport {
+        self.fold_hot_state();
+        let recorded = self.recorder.recorded();
+        let dropped = self.recorder.dropped();
+        let fingerprint = trace::fingerprint_events(self.recorder.iter());
+        ObsReport {
+            schema: TRACE_SCHEMA_VERSION,
+            metrics: self.registry.snapshot(),
+            events: self.recorder.into_events(),
+            recorded,
+            dropped,
+            fingerprint,
+        }
+    }
+
+    /// Dump the retained ring to `out` as a JSONL section. Used on
+    /// panic/invariant failure so the tail of the run is never lost.
+    pub fn dump(&self, scenario: &str, seed: u64, out: &mut dyn Write) -> std::io::Result<()> {
+        let fingerprint = trace::fingerprint_events(self.recorder.iter());
+        writeln!(
+            out,
+            "{}",
+            trace::render_header(
+                scenario,
+                seed,
+                self.recorder.len(),
+                self.recorder.recorded(),
+                self.recorder.dropped(),
+                fingerprint,
+            )
+        )?;
+        for event in self.recorder.iter() {
+            writeln!(out, "{}", trace::render_event(event))?;
+        }
+        Ok(())
+    }
+}
+
+/// The serializable observability report attached to `RunReport` when
+/// obs is enabled (`None` otherwise, keeping disabled reports
+/// byte-identical to pre-obs builds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Trace schema version the events were recorded under.
+    pub schema: u32,
+    pub metrics: MetricsSnapshot,
+    /// Retained flight-recorder tail, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Total events recorded, including any evicted from the ring.
+    pub recorded: u64,
+    /// Events evicted to keep the ring bounded.
+    pub dropped: u64,
+    /// FNV-1a over the structured event stream (see
+    /// [`trace::fingerprint_events`]); pins the rendered JSONL too,
+    /// since rendering is a pure function of the hashed fields.
+    pub fingerprint: u64,
+}
+
+impl ObsReport {
+    /// Render this report's full JSONL section (header + events).
+    pub fn render_jsonl(&self, scenario: &str, seed: u64) -> String {
+        let mut out = String::new();
+        out.push_str(&trace::render_header(
+            scenario,
+            seed,
+            self.events.len(),
+            self.recorded,
+            self.dropped,
+            self.fingerprint,
+        ));
+        out.push('\n');
+        for event in &self.events {
+            out.push_str(&trace::render_event(event));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Count of retained events matching an `"ev"` discriminator.
+    pub fn event_count(&self, name: &str) -> u64 {
+        self.events.iter().filter(|e| e.kind.event_name().as_str() == name).count() as u64
+    }
+
+    /// Convenience accessor for a counter in the embedded snapshot.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Convenience accessor for a histogram in the embedded snapshot.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.metrics.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observer() -> RunObserver {
+        RunObserver::new(&ObsConfig::on())
+    }
+
+    #[test]
+    fn record_updates_ring_and_counters() {
+        let mut obs = observer();
+        obs.record(
+            SimTime::from_millis(10),
+            TraceKind::Dispatch { worker: 1, task: 2, assignment: 3 },
+        );
+        obs.record(
+            SimTime::from_millis(500),
+            TraceKind::AssignmentDone { worker: 1, task: 2, assignment: 3, span_ms: 490 },
+        );
+        assert_eq!(obs.recorder.len(), 2);
+        let report = obs.into_report();
+        assert_eq!(report.counter(names::RUNNER_DISPATCH.as_str()), 1);
+        assert_eq!(report.counter(names::RUNNER_ASSIGNMENT_DONE.as_str()), 1);
+        let hist =
+            report.histogram(names::RUNNER_ASSIGNMENT_SPAN_MS.as_str()).expect("span histogram");
+        assert_eq!(hist.counts.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn report_roundtrip_preserves_order_and_fingerprint() {
+        let mut obs = observer();
+        for i in 0..4 {
+            obs.record(
+                SimTime::from_millis(i * 100),
+                TraceKind::ReserveTimeout { worker: i as u32 },
+            );
+        }
+        obs.note_queue_depth(3);
+        let report = obs.into_report();
+        assert_eq!(report.schema, TRACE_SCHEMA_VERSION);
+        assert_eq!(report.recorded, 4);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.counter("runner.reserve_timeout"), 4);
+        assert_eq!(report.event_count("reserve_timeout"), 4);
+        assert_eq!(report.fingerprint, trace::fingerprint_events(report.events.iter()));
+        let jsonl = report.render_jsonl("unit", 1);
+        assert_eq!(jsonl.lines().count(), 5);
+        assert!(jsonl.starts_with("{\"v\":1,\"stream\":\"clamshell-trace\""));
+    }
+
+    #[test]
+    fn absorb_pool_folds_aggregates() {
+        let mut obs = observer();
+        let mut pool = PoolObs::new();
+        pool.note_join(1);
+        pool.note_join(2);
+        pool.note_checkout();
+        pool.note_checkin();
+        obs.absorb_pool(&pool);
+        assert_eq!(obs.registry.counter(names::POOL_CHECKIN), 1);
+        assert_eq!(obs.registry.gauge(names::POOL_OCCUPANCY_HWM), 2);
+        let hist = obs.registry.histogram(names::POOL_OCCUPANCY).expect("occupancy histogram");
+        assert_eq!(hist.total(), 2);
+    }
+
+    #[test]
+    fn dump_writes_header_plus_events() {
+        let mut obs = observer();
+        obs.record(SimTime::from_millis(5), TraceKind::OutageResume);
+        let mut buf = Vec::new();
+        obs.dump("panic-test", 9, &mut buf).expect("dump to vec");
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"scenario\":\"panic-test\""));
+        assert!(lines[1].contains("\"ev\":\"outage_resume\""));
+    }
+}

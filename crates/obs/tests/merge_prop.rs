@@ -1,0 +1,74 @@
+//! Property tests for the snapshot merge the sweep fold relies on:
+//! merging per-job registries must be associative (and commutative for
+//! this value domain), so a parallel sweep folding in job-index order
+//! agrees with any serial regrouping.
+
+use clamshell_obs::registry::{MetricsSnapshot, OCCUPANCY_BOUNDS, QUEUE_DEPTH_BOUNDS};
+use clamshell_obs::{names, MetricsRegistry};
+use proptest::prelude::*;
+
+/// Build a snapshot from a compact seed tuple: counter deltas, gauge
+/// values, and histogram observations across a shared name set.
+fn snapshot(
+    dispatch: u64,
+    walkout: u64,
+    hwm: u64,
+    depth_obs: Vec<u64>,
+    occ_obs: Vec<u64>,
+) -> MetricsSnapshot {
+    let mut r = MetricsRegistry::new();
+    r.add(names::RUNNER_DISPATCH, dispatch);
+    r.add(names::RUNNER_WALKOUT, walkout);
+    r.gauge_max(names::RUNNER_QUEUE_DEPTH_HWM, hwm);
+    for v in depth_obs {
+        r.observe(names::RUNNER_QUEUE_DEPTH, QUEUE_DEPTH_BOUNDS, v);
+    }
+    for v in occ_obs {
+        r.observe(names::POOL_OCCUPANCY, OCCUPANCY_BOUNDS, v);
+    }
+    r.snapshot()
+}
+
+fn arb_snapshot() -> impl proptest::strategy::Strategy<Value = MetricsSnapshot> {
+    (
+        0u64..1000,
+        0u64..1000,
+        0u64..500,
+        proptest::collection::vec(0u64..300, 0..6),
+        proptest::collection::vec(0u64..100, 0..6),
+    )
+        .prop_map(|(d, w, h, depth, occ)| snapshot(d, w, h, depth, occ))
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in arb_snapshot(), b in arb_snapshot()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn empty_is_identity(a in arb_snapshot()) {
+        let empty = MetricsSnapshot::default();
+        prop_assert_eq!(merged(&a, &empty), a.clone());
+        prop_assert_eq!(merged(&empty, &a), a);
+    }
+}

@@ -36,9 +36,11 @@
 pub mod catalog;
 pub mod golden;
 pub mod report;
+pub mod trace;
 
 pub use catalog::{catalog, find, grid, names, ScenarioDef};
 pub use report::CompactReport;
+pub use trace::{TraceCell, TraceRow};
 
 use clamshell_core::RunConfig;
 
@@ -84,7 +86,17 @@ pub mod suite {
     /// snapshots grouped per scenario, in catalog order. `threads = None`
     /// resolves via `CLAMSHELL_THREADS` like every sweep entry point.
     pub fn compact_suite(threads: Option<usize>) -> Vec<(&'static str, Vec<CompactReport>)> {
-        let g = grid(base_config(), population(), specs(), BATCH).seeds(&SEEDS);
+        compact_suite_with(base_config(), threads)
+    }
+
+    /// [`compact_suite`] over a custom base config — used by the trace
+    /// suite to prove an instrumented run leaves the compact goldens
+    /// byte-identical.
+    pub fn compact_suite_with(
+        base: RunConfig,
+        threads: Option<usize>,
+    ) -> Vec<(&'static str, Vec<CompactReport>)> {
+        let g = grid(base, population(), specs(), BATCH).seeds(&SEEDS);
         let grouped = g.try_run_all(threads).expect("catalog grid is valid").into_iter();
         let mut rows: Vec<(&'static str, Vec<CompactReport>)> =
             catalog().iter().map(|s| (s.name, Vec::new())).collect();

@@ -1,0 +1,80 @@
+//! Trace golden-master conformance.
+//!
+//! The instrumented catalog suite must reproduce the committed trace
+//! fingerprints (`crates/scenarios/golden/trace_fingerprints.json`)
+//! byte for byte, its rendered JSONL must be identical at 1 and 4 sweep
+//! threads, and turning observability on must leave the compact-report
+//! goldens untouched — the zero-perturbation half of the contract.
+//!
+//! Regenerate intentionally with:
+//! `CLAMSHELL_BLESS=1 cargo test -p clamshell-scenarios --test trace_golden`
+
+use clamshell_scenarios::{golden, suite, trace};
+
+#[test]
+fn trace_fingerprint_conformance() {
+    let rows = trace::trace_suite(None);
+    assert_eq!(rows.len(), clamshell_scenarios::catalog().len());
+    for (name, cells) in &rows {
+        assert_eq!(cells.len(), suite::SEEDS.len());
+        for cell in cells {
+            assert_eq!(cell.row.dropped, 0, "{name}: suite ring must be lossless");
+            assert!(cell.row.events > 0, "{name}: instrumented runs record events");
+            assert!(
+                cell.jsonl.lines().count() == cell.row.events + 1,
+                "{name}: JSONL is one header plus one line per event"
+            );
+        }
+    }
+    let rendered = trace::render_rows(&rows);
+    if golden::blessing() {
+        golden::bless(trace::GOLDEN_NAME, &rendered);
+        return;
+    }
+    match golden::read(trace::GOLDEN_NAME) {
+        Some(committed) => assert_eq!(
+            committed, rendered,
+            "trace fingerprints drifted (regenerate intentionally with CLAMSHELL_BLESS=1)"
+        ),
+        None => panic!("no committed trace fingerprints (bless with CLAMSHELL_BLESS=1)"),
+    }
+}
+
+#[test]
+fn trace_jsonl_is_byte_identical_across_thread_counts() {
+    // The in-test version of the CI matrix: every cell's full JSONL
+    // (header + events) at 1 and 4 sweep threads must agree byte for
+    // byte — not just the fingerprints.
+    let render_all = |threads: usize| {
+        trace::trace_suite(Some(threads))
+            .iter()
+            .flat_map(|(name, cells)| {
+                cells.iter().map(move |c| format!("## {name}/{}\n{}", c.row.seed, c.jsonl))
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(render_all(1), render_all(4));
+}
+
+#[test]
+fn instrumentation_leaves_compact_goldens_untouched() {
+    // Running the suite with observability on must reproduce the exact
+    // committed compact snapshots: recording draws no RNG values and
+    // never perturbs the simulation.
+    let rows = suite::compact_suite_with(trace::obs_base_config(), None);
+    let mut mismatches = Vec::new();
+    for (name, reports) in &rows {
+        let rendered = golden::render(reports);
+        match golden::read(name) {
+            Some(committed) if committed == rendered => {}
+            Some(_) => mismatches.push(format!("{name}: instrumented run drifted")),
+            None => mismatches.push(format!("{name}: no committed snapshot")),
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "observability perturbed the simulation:\n  {}",
+        mismatches.join("\n  ")
+    );
+}

@@ -12,6 +12,7 @@
 
 use crate::grid::JobMeta;
 use clamshell_core::metrics::RunReport;
+use clamshell_obs::MetricsSnapshot;
 use clamshell_sim::stats::OnlineStats;
 
 /// A streaming consumer of sweep results.
@@ -132,6 +133,93 @@ impl Aggregator for MetricsAggregator {
     }
 }
 
+/// Per-scenario fold of the observability registries attached to
+/// instrumented runs (`RunConfig::obs.enabled`).
+///
+/// Each job's [`MetricsSnapshot`] merges into its scenario row in
+/// job-index order — counters sum, gauges (high-water marks such as
+/// `runner.queue_depth_hwm`) take the max, histograms add bucket-wise —
+/// exactly the shape of the [`OnlineStats`] fold above, so partial
+/// aggregators built from disjoint sweep slices [`merge`](Self::merge)
+/// into the whole-sweep aggregate. Uninstrumented reports (`obs: None`)
+/// fold as empty and only bump the job count, so the aggregator is safe
+/// to attach to any grid.
+#[derive(Debug, Clone)]
+pub struct ObsAggregator {
+    /// `rows[scenario]`: merged snapshot across the scenario's jobs.
+    rows: Vec<MetricsSnapshot>,
+    /// Jobs consumed per scenario (instrumented or not).
+    jobs: Vec<u64>,
+    /// Jobs per scenario that actually carried an obs report.
+    instrumented: Vec<u64>,
+}
+
+impl ObsAggregator {
+    /// An empty aggregator over `n_scenarios` rows.
+    pub fn new(n_scenarios: usize) -> Self {
+        ObsAggregator {
+            rows: vec![MetricsSnapshot::default(); n_scenarios],
+            jobs: vec![0; n_scenarios],
+            instrumented: vec![0; n_scenarios],
+        }
+    }
+
+    /// Number of scenario rows.
+    pub fn n_scenarios(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The merged snapshot for `scenario`.
+    pub fn snapshot(&self, scenario: usize) -> &MetricsSnapshot {
+        &self.rows[scenario]
+    }
+
+    /// Summed counter `name` across the scenario's jobs (0 if absent).
+    pub fn counter(&self, scenario: usize, name: &str) -> u64 {
+        self.rows[scenario].counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Max gauge `name` across the scenario's jobs (0 if absent) — for
+    /// high-water marks this is the sweep-wide high-water mark.
+    pub fn gauge(&self, scenario: usize, name: &str) -> u64 {
+        self.rows[scenario].gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Jobs consumed for `scenario`.
+    pub fn jobs(&self, scenario: usize) -> u64 {
+        self.jobs[scenario]
+    }
+
+    /// Jobs for `scenario` that carried an obs report.
+    pub fn instrumented(&self, scenario: usize) -> u64 {
+        self.instrumented[scenario]
+    }
+
+    /// Merge another partial aggregate (same shape) into this one.
+    pub fn merge(&mut self, other: &ObsAggregator) {
+        assert_eq!(self.rows.len(), other.rows.len(), "scenario count mismatch");
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            mine.merge(theirs);
+        }
+        for (a, b) in self.jobs.iter_mut().zip(&other.jobs) {
+            *a += b;
+        }
+        for (a, b) in self.instrumented.iter_mut().zip(&other.instrumented) {
+            *a += b;
+        }
+    }
+}
+
+impl Aggregator for ObsAggregator {
+    fn consume(&mut self, meta: &JobMeta, report: &RunReport) {
+        self.jobs[meta.scenario] += 1;
+        if let Some(obs) = &report.obs {
+            self.instrumented[meta.scenario] += 1;
+            self.rows[meta.scenario].merge(&obs.metrics);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +322,89 @@ mod tests {
     fn unknown_metric_panics() {
         let agg = MetricsAggregator::new(1, Metric::standard());
         agg.mean(0, "nope");
+    }
+
+    fn obs_grid() -> Grid {
+        let specs: Vec<TaskSpec> = (0..4).map(|i| TaskSpec::new(vec![(i % 2) as u32; 2])).collect();
+        Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() }.with_obs(),
+            Population::mturk_live(),
+            specs,
+            4,
+        )
+        .seeds(&[1, 2, 3])
+        .scenario("sm", |c| c.straggler = Some(Default::default()))
+        .scenario("nosm", |c| c.straggler = None)
+    }
+
+    #[test]
+    fn obs_streaming_fold_matches_serial_and_reconciles() {
+        let g = obs_grid();
+        let mut agg = ObsAggregator::new(g.n_scenarios());
+        let status = g.run_streaming(Some(4), &mut agg);
+        assert!(status.is_complete());
+
+        let reports = g.run_all(Some(1));
+        let mut reference = ObsAggregator::new(g.n_scenarios());
+        for (i, r) in reports.iter().enumerate() {
+            reference.consume(&g.meta(i), r);
+        }
+        for s in 0..g.n_scenarios() {
+            assert_eq!(agg.jobs(s), 3);
+            assert_eq!(agg.instrumented(s), 3);
+            assert_eq!(agg.snapshot(s), reference.snapshot(s), "row {s}");
+            // Counters sum across seeds: every dispatch had a checkout.
+            assert!(agg.counter(s, "runner.dispatch") > 0);
+            assert_eq!(agg.counter(s, "runner.checkout"), agg.counter(s, "runner.dispatch"));
+            // The gauge row is the sweep-wide queue-depth high-water mark.
+            let hwm = agg.gauge(s, "runner.queue_depth_hwm");
+            let per_job_max = reports
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| g.meta(*i).scenario == s)
+                .map(|(_, r)| {
+                    *r.obs.as_ref().unwrap().metrics.gauges.get("runner.queue_depth_hwm").unwrap()
+                })
+                .max()
+                .unwrap();
+            assert_eq!(hwm, per_job_max);
+        }
+    }
+
+    #[test]
+    fn obs_merge_of_partials_equals_whole() {
+        let g = obs_grid();
+        let reports = g.run_all(Some(1));
+        let mut whole = ObsAggregator::new(g.n_scenarios());
+        let mut left = ObsAggregator::new(g.n_scenarios());
+        let mut right = ObsAggregator::new(g.n_scenarios());
+        for (i, r) in reports.iter().enumerate() {
+            let meta = g.meta(i);
+            whole.consume(&meta, r);
+            if i % 2 == 0 {
+                left.consume(&meta, r);
+            } else {
+                right.consume(&meta, r);
+            }
+        }
+        left.merge(&right);
+        for s in 0..g.n_scenarios() {
+            assert_eq!(left.jobs(s), whole.jobs(s));
+            assert_eq!(left.instrumented(s), whole.instrumented(s));
+            assert_eq!(left.snapshot(s), whole.snapshot(s), "row {s}");
+        }
+    }
+
+    #[test]
+    fn obs_aggregator_tolerates_uninstrumented_runs() {
+        let g = grid(); // obs disabled in the base config
+        let mut agg = ObsAggregator::new(g.n_scenarios());
+        let status = g.run_streaming(Some(2), &mut agg);
+        assert!(status.is_complete());
+        for s in 0..g.n_scenarios() {
+            assert_eq!(agg.jobs(s), 4);
+            assert_eq!(agg.instrumented(s), 0);
+            assert!(agg.snapshot(s).is_empty());
+        }
     }
 }

@@ -89,7 +89,7 @@ pub mod progress;
 pub mod queue;
 pub mod threads;
 
-pub use aggregate::{Aggregator, Metric, MetricsAggregator};
+pub use aggregate::{Aggregator, Metric, MetricsAggregator, ObsAggregator};
 pub use grid::{Grid, GridError, JobMeta, Scenario};
 pub use persistent::{execute_streaming_pooled, WorkerPool};
 pub use pool::{execute, execute_streaming, ExecStatus};

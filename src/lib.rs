@@ -63,6 +63,7 @@
 pub use clamshell_core as core;
 pub use clamshell_crowd as crowd;
 pub use clamshell_learn as learn;
+pub use clamshell_obs as obs;
 pub use clamshell_quality as quality;
 pub use clamshell_scenarios as scenarios;
 pub use clamshell_sim as sim;
@@ -96,9 +97,12 @@ pub mod prelude {
     pub use clamshell_learn::model::SgdConfig;
     pub use clamshell_learn::sampling::Uncertainty;
     pub use clamshell_learn::Dataset;
+    pub use clamshell_obs::{MetricsSnapshot, ObsConfig, ObsReport};
     pub use clamshell_quality::{majority_vote, ConfusionEm, DawidSkene, EmConfig};
     pub use clamshell_scenarios::{CompactReport, ScenarioDef};
     pub use clamshell_sim::{SimDuration, SimTime};
-    pub use clamshell_sweep::{CancelToken, Grid, GridError, Metric, MetricsAggregator};
+    pub use clamshell_sweep::{
+        CancelToken, Grid, GridError, Metric, MetricsAggregator, ObsAggregator,
+    };
     pub use clamshell_trace::{Archetype, ArchetypeMix, Population, WorkerProfile};
 }
