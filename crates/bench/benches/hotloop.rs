@@ -14,9 +14,11 @@
 //! Both deliver identical pop order (FIFO within a timestamp); only the
 //! wall-clock differs. Running this bench in measure mode (`cargo bench
 //! -p clamshell-bench --bench hotloop`) rewrites `BENCH_hotloop.json` at
-//! the repository root with events/sec for both queues plus the runner's
-//! allocation counts, so the perf trajectory is recorded in-tree. See
-//! README § "Benchmarking & perf methodology" for how to read it.
+//! the repository root with events/sec for both queues, the runner's
+//! allocation counts, and the streaming service mode's bounded-memory
+//! profile (peak live heap of a retire-mode stream at 1k vs 100k tasks),
+//! so the perf trajectory is recorded in-tree. See README §
+//! "Benchmarking & perf methodology" for how to read it.
 
 use criterion::{black_box, criterion_group, Criterion};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -37,6 +39,15 @@ struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Live bytes right now (allocations minus deallocations) and the high
+/// watermark — the streaming bounded-memory row measures peak growth.
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn note_live(size: u64) {
+    let live = LIVE_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
 
 // SAFETY: a thin pass-through to the System allocator — every method
 // forwards its arguments unchanged, so System's layout/provenance
@@ -46,11 +57,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        note_live(layout.size() as u64);
         System.alloc(layout)
     }
 
     // SAFETY: delegates to System.dealloc with the caller's ptr/layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
@@ -58,6 +71,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        note_live(new_size as u64);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -76,6 +91,16 @@ fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
         ALLOC_CALLS.load(Ordering::Relaxed) - calls0,
         ALLOC_BYTES.load(Ordering::Relaxed) - bytes0,
     )
+}
+
+/// Run `f` and return `(result, peak_live_growth_bytes)`: how far the
+/// live-byte high watermark rose above the live set at entry
+/// (single-threaded workloads only — the counters are global).
+fn peak_live_growth<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let base = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(base, Ordering::Relaxed);
+    let out = f();
+    (out, PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(base))
 }
 
 // ---------------------------------------------------------------------
@@ -336,6 +361,47 @@ fn emit_baseline() {
          ({obs_ratio:.3}x, {obs_events} events recorded)"
     );
 
+    // Streaming bounded-memory profile: peak live heap of a retire-mode
+    // service run must not scale with stream length (the service-mode
+    // contract; `crates/stream/tests/bounded_memory.rs` enforces the
+    // same bound in CI). Measured on the per-task work floor — single
+    // records, quorum 1 — so stream-length scaling dominates.
+    let stream_peak = |n_tasks: usize| {
+        let cfg = clamshell_core::RunConfig {
+            pool_size: 4,
+            ng: 1,
+            n_classes: 2,
+            quorum: 1,
+            seed: 1,
+            ..Default::default()
+        };
+        let knobs = clamshell_stream::StreamConfig {
+            rate_per_sec: 5.0,
+            checkpoint_every: 10_000,
+            retire: true,
+        };
+        let (outcome, peak) = peak_live_growth(|| {
+            clamshell_stream::run_stream(
+                cfg,
+                Population::mturk_live(),
+                clamshell_stream::source::alternating(1),
+                n_tasks,
+                50,
+                &knobs,
+            )
+        });
+        assert_eq!(outcome.checkpoints.last().map(|c| c.completed), Some(n_tasks as u64));
+        peak
+    };
+    let _ = stream_peak(200); // warm-up: fault lazy tables out of the measurement
+    let stream_peak_1k = stream_peak(1_000);
+    let stream_peak_100k = stream_peak(100_000);
+    let stream_growth = stream_peak_100k as f64 / stream_peak_1k as f64;
+    eprintln!(
+        "  baseline stream_memory: peak live {stream_peak_1k} B at 1k tasks vs \
+         {stream_peak_100k} B at 100k tasks ({stream_growth:.2}x for 100x the stream)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"hotloop\",\n  \"workload\": \"hold pattern: pop earliest event + \
          schedule replacement at now+delta, fixed pending count; runner row is one 300-task \
@@ -343,7 +409,10 @@ fn emit_baseline() {
          \"tasks\": 300, \"wall_secs\": {run_secs:.4}, \"alloc_calls\": {allocs}, \
          \"alloc_bytes\": {bytes}, \"labels\": {labels}\n  }},\n  \"obs_overhead\": {{\n    \
          \"disabled_secs\": {disabled_secs:.4}, \"enabled_secs\": {enabled_secs:.4}, \
-         \"ratio\": {obs_ratio:.3}, \"events_recorded\": {obs_events}\n  }},\n  \"hardware\": \
+         \"ratio\": {obs_ratio:.3}, \"events_recorded\": {obs_events}\n  }},\n  \
+         \"stream_memory\": {{\n    \"peak_live_bytes_1k_tasks\": {stream_peak_1k}, \
+         \"peak_live_bytes_100k_tasks\": {stream_peak_100k}, \"growth\": {stream_growth:.3}\n  \
+         }},\n  \"hardware\": \
          \"{threads}-core container (std::thread::available_parallelism); wall-clock \
          measurement via the vendored criterion shim — absolute numbers are indicative, \
          ratios are the signal\",\n  \"generated_by\": \"cargo bench -p clamshell-bench \
@@ -369,6 +438,14 @@ fn emit_baseline() {
     assert!(
         obs_ratio <= 1.5,
         "observability overhead {obs_ratio:.3}x exceeds 1.5x \
+         (committed BENCH_hotloop.json left untouched)"
+    );
+    // Service-mode memory must be stream-length invariant: 100x the
+    // tasks may grow the peak live set only by allocator noise and the
+    // (interval-bounded) checkpoint vector.
+    assert!(
+        stream_growth <= 4.0,
+        "retire-mode stream peak grew {stream_growth:.2}x from 1k to 100k tasks \
          (committed BENCH_hotloop.json left untouched)"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotloop.json");

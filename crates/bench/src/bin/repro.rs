@@ -10,6 +10,8 @@
 //! repro --scenario churn       # one adversity scenario vs benign
 //! repro --scenario blackout --trace t.jsonl   # + flight-recorder JSONL
 //! repro --scenario churn --format json        # machine-readable report
+//! repro serve --rate 0.05 --tasks 96 --checkpoint-every 8  # streaming
+//! repro serve --quick          # streaming service mode, smoke cell
 //! repro --help                 # usage (also -h)
 //! ```
 //!
@@ -29,6 +31,8 @@ use clamshell_bench::{extra_registry, registry, util::json_str, util::Opts};
 const USAGE: &str = "\
 usage: repro [--all] [--quick] [--seeds N] [--threads N] [--scenario NAME]
              [--trace PATH] [--format FMT] [--list] [name...]
+       repro serve [--rate R] [--tasks N] [--checkpoint-every K]
+                   [--scenario NAME] [--quick] [--seeds N] [--threads N]
 
   --all            run every experiment
   --quick          smaller workloads and a single seed (scale 0.25)
@@ -47,10 +51,21 @@ usage: repro [--all] [--quick] [--seeds N] [--threads N] [--scenario NAME]
                    to --scenario and --list, and is rejected with --all
                    (its stdout is the recorded EXPERIMENTS.md transcript)
   --list           list experiments and exit
-  --help, -h       this message";
+  --help, -h       this message
+
+serve mode (open-loop streaming service; stdout is byte-identical at
+any thread count and ends with the streamed/batched equivalence line):
+  --rate R             mean task arrivals per simulated second (default 0.01)
+  --tasks N            stream length before --quick scaling (default 96)
+  --checkpoint-every K completed tasks per checkpoint (default 8)
+  --scenario NAME      compose one adversity scenario with the stream";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_cli(&args[1..]);
+        return;
+    }
     let mut run_all = false;
     let mut list = false;
     let mut quick = false;
@@ -231,6 +246,84 @@ fn main() {
     }
     if ran == 0 {
         eprintln!("no experiment matched {picked:?}; try --list");
+        std::process::exit(2);
+    }
+}
+
+/// `repro serve ...`: parse service-mode flags and run the streaming
+/// walkthrough. Shares the harness flag conventions (`--quick` defaults,
+/// explicit `--seeds` wins in either order, threads only touch stderr).
+fn serve_cli(args: &[String]) {
+    use clamshell_bench::experiments::serve::{serve, ServeArgs};
+
+    let mut sa = ServeArgs::default();
+    let mut quick = false;
+    let mut seeds: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--quick" => quick = true,
+            "--rate" => {
+                i += 1;
+                let r: f64 = args.get(i).and_then(|s| s.parse().ok()).expect("--rate takes a rate");
+                assert!(r.is_finite() && r > 0.0, "--rate must be positive");
+                sa.rate = r;
+            }
+            "--tasks" => {
+                i += 1;
+                let n: usize =
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--tasks takes a count");
+                sa.tasks = n;
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                let k: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--checkpoint-every takes a count");
+                sa.checkpoint_every = k;
+            }
+            "--scenario" => {
+                i += 1;
+                sa.scenario = Some(args.get(i).expect("--scenario takes a name").clone());
+            }
+            "--seeds" => {
+                i += 1;
+                let n: u64 =
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--seeds takes a count");
+                seeds = Some(n);
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize =
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--threads takes a count");
+                threads = Some(n);
+            }
+            other => {
+                eprintln!("unknown serve argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let mut opts = Opts::default();
+    if quick {
+        opts.scale = 0.25;
+        opts.seeds = vec![1];
+    }
+    if let Some(n) = seeds {
+        opts.seeds = (1..=n).collect();
+    }
+    opts.threads = threads;
+    println!("CLAMShell reproduction harness — seeds={:?} scale={}", opts.seeds, opts.scale);
+    eprintln!("sweep engine: {} worker thread(s)", opts.thread_count());
+    if let Err(msg) = serve(&opts, &sa) {
+        eprintln!("{msg}; try --scenario list");
         std::process::exit(2);
     }
 }

@@ -5,6 +5,7 @@ pub mod combine;
 pub mod learning;
 pub mod maintenance;
 pub mod pool_lifecycle;
+pub mod serve;
 pub mod straggler;
 pub mod tables;
 pub mod trace;

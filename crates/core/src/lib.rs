@@ -58,5 +58,5 @@ pub use config::{
 pub use learning::{LearningConfig, LearningOutcome, LearningRunner, Strategy};
 pub use lifeguard::RoutingPolicy;
 pub use metrics::{BatchStats, RunReport};
-pub use runner::Runner;
+pub use runner::{run_batched, BatchSizer, LifecycleCounts, RetiredRows, Runner};
 pub use task::TaskSpec;

@@ -10,7 +10,7 @@
 //! All four are implemented so the `routing` experiment and ablation bench
 //! can reproduce that result.
 
-use crate::task::{Assignment, TaskId, TaskState};
+use crate::task::{StateView, TaskId};
 use clamshell_sim::rng::Rng;
 use clamshell_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -34,13 +34,14 @@ pub enum RoutingPolicy {
 /// Choose an active task for an idle worker under `policy`.
 ///
 /// `eligible` must already be filtered for: task active (not complete),
-/// concurrency cap not reached, and the worker not already on it. Returns
-/// `None` when `eligible` is empty.
+/// concurrency cap not reached, and the worker not already on it. The
+/// [`StateView`] resolves task/assignment ids whether or not the runner
+/// has retired earlier state (streaming mode). Returns `None` when
+/// `eligible` is empty.
 pub fn route(
     policy: RoutingPolicy,
     eligible: &[TaskId],
-    tasks: &[TaskState],
-    assignments: &[Assignment],
+    view: &StateView<'_>,
     rng: &mut Rng,
 ) -> Option<TaskId> {
     if eligible.is_empty() {
@@ -49,22 +50,22 @@ pub fn route(
     match policy {
         RoutingPolicy::Random => eligible.get(rng.index(eligible.len())).copied(),
         RoutingPolicy::LongestRunning => eligible.iter().copied().min_by_key(|&t| {
-            tasks[t.0 as usize]
+            view.task(t)
                 .active
                 .iter()
-                .map(|&a| assignments[a.0 as usize].start)
+                .map(|&a| view.assignment(a).start)
                 .min()
                 .unwrap_or(SimTime::MAX)
         }),
         RoutingPolicy::FewestWorkers => {
-            eligible.iter().copied().min_by_key(|&t| (tasks[t.0 as usize].active.len(), t))
+            eligible.iter().copied().min_by_key(|&t| (view.task(t).active.len(), t))
         }
         RoutingPolicy::Oracle => eligible.iter().copied().max_by_key(|&t| {
             (
-                tasks[t.0 as usize]
+                view.task(t)
                     .active
                     .iter()
-                    .map(|&a| assignments[a.0 as usize].planned_end)
+                    .map(|&a| view.assignment(a).planned_end)
                     .min()
                     .unwrap_or(SimTime::ZERO),
                 std::cmp::Reverse(t),
@@ -76,7 +77,7 @@ pub fn route(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::task::{AssignmentId, TaskSpec};
+    use crate::task::{Assignment, AssignmentId, TaskSpec, TaskState};
     use clamshell_crowd::WorkerId;
 
     fn t(s: u64) -> SimTime {
@@ -108,61 +109,80 @@ mod tests {
     #[test]
     fn empty_eligible_routes_nowhere() {
         let (tasks, assignments) = fixture();
+        let view = StateView::full(&tasks, &assignments);
         let mut rng = Rng::new(1);
-        assert_eq!(route(RoutingPolicy::Random, &[], &tasks, &assignments, &mut rng), None);
+        assert_eq!(route(RoutingPolicy::Random, &[], &view, &mut rng), None);
     }
 
     #[test]
     fn longest_running_picks_earliest_start() {
         let (tasks, assignments) = fixture();
+        let view = StateView::full(&tasks, &assignments);
         let mut rng = Rng::new(1);
-        let pick = route(
-            RoutingPolicy::LongestRunning,
-            &[TaskId(0), TaskId(1)],
-            &tasks,
-            &assignments,
-            &mut rng,
-        );
+        let pick = route(RoutingPolicy::LongestRunning, &[TaskId(0), TaskId(1)], &view, &mut rng);
         assert_eq!(pick, Some(TaskId(0))); // started at 0s vs 5s
     }
 
     #[test]
     fn fewest_workers_picks_thin_task() {
         let (tasks, assignments) = fixture();
+        let view = StateView::full(&tasks, &assignments);
         let mut rng = Rng::new(1);
-        let pick = route(
-            RoutingPolicy::FewestWorkers,
-            &[TaskId(0), TaskId(1)],
-            &tasks,
-            &assignments,
-            &mut rng,
-        );
+        let pick = route(RoutingPolicy::FewestWorkers, &[TaskId(0), TaskId(1)], &view, &mut rng);
         assert_eq!(pick, Some(TaskId(0))); // 1 live assignment vs 2
     }
 
     #[test]
     fn oracle_picks_latest_finishing() {
         let (tasks, assignments) = fixture();
+        let view = StateView::full(&tasks, &assignments);
         let mut rng = Rng::new(1);
-        let pick =
-            route(RoutingPolicy::Oracle, &[TaskId(0), TaskId(1)], &tasks, &assignments, &mut rng);
+        let pick = route(RoutingPolicy::Oracle, &[TaskId(0), TaskId(1)], &view, &mut rng);
         // Task 0's earliest completion is 100s; task 1's is 20s.
         assert_eq!(pick, Some(TaskId(0)));
     }
 
     #[test]
+    fn base_offset_view_routes_like_the_full_view() {
+        // Same fixture, but presented as the live tail of a longer run:
+        // every id shifted up by the bases the retired prefix left behind.
+        let (tasks, mut assignments) = fixture();
+        let (tb, ab) = (10u32, 20u32);
+        let mut shifted_tasks = tasks.clone();
+        for t in &mut shifted_tasks {
+            for a in &mut t.active {
+                *a = AssignmentId(a.0 + ab);
+            }
+        }
+        for a in &mut assignments {
+            a.id = AssignmentId(a.id.0 + ab);
+            a.task = TaskId(a.task.0 + tb);
+        }
+        let view = StateView {
+            tasks: &shifted_tasks,
+            assignments: &assignments,
+            task_base: tb,
+            assignment_base: ab,
+        };
+        let eligible = [TaskId(tb), TaskId(tb + 1)];
+        for policy in
+            [RoutingPolicy::LongestRunning, RoutingPolicy::FewestWorkers, RoutingPolicy::Oracle]
+        {
+            let mut rng = Rng::new(1);
+            let pick = route(policy, &eligible, &view, &mut rng);
+            assert_eq!(pick, Some(TaskId(tb)), "{policy:?} must resolve offset ids");
+        }
+    }
+
+    #[test]
     fn random_covers_all_eligible() {
         let (tasks, assignments) = fixture();
+        let view = StateView::full(&tasks, &assignments);
         let mut rng = Rng::new(2);
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
-            if let Some(p) = route(
-                RoutingPolicy::Random,
-                &[TaskId(0), TaskId(1)],
-                &tasks,
-                &assignments,
-                &mut rng,
-            ) {
+            if let Some(p) = route(RoutingPolicy::Random, &[TaskId(0), TaskId(1)], &view, &mut rng)
+            {
                 seen.insert(p);
             }
         }

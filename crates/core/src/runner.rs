@@ -12,13 +12,13 @@
 //! equal times fire in schedule order; all collections iterate in
 //! [`WorkerId`] order; every random draw comes from seeded streams.
 
-use crate::adversity::{streams, ChurnFault};
+use crate::adversity::{streams, BurstFault, ChurnFault};
 use crate::config::{QcMode, RunConfig};
 use crate::lifeguard::route;
 use crate::maintainer::Maintainer;
 use crate::metrics::{AssignmentRecord, BatchStats, RunReport, TaskRecord};
-use crate::task::{Assignment, AssignmentId, TaskId, TaskResponse, TaskSpec, TaskState};
-use clamshell_crowd::{RetainerPool, SimPlatform, WorkerId};
+use crate::task::{Assignment, AssignmentId, StateView, TaskId, TaskResponse, TaskSpec, TaskState};
+use clamshell_crowd::{CostLedger, RetainerPool, SimPlatform, WorkerId};
 use clamshell_obs::{RunObserver, TraceKind};
 use clamshell_quality::voting::{majority_vote, Vote};
 use clamshell_sim::events::EventQueue;
@@ -51,6 +51,35 @@ enum Event {
     Nop,
 }
 
+/// The report rows drained by one [`Runner::retire_completed`] call:
+/// everything logged since the previous retirement, in the same order
+/// the retained-mode vectors would hold it.
+#[derive(Debug, Clone, Default)]
+pub struct RetiredRows {
+    /// Completed-task records, in completion order.
+    pub tasks: Vec<TaskRecord>,
+    /// Assignment records, in the order assignments ended.
+    pub assignments: Vec<AssignmentRecord>,
+    /// Per-batch statistics, in batch order.
+    pub batches: Vec<BatchStats>,
+}
+
+/// Cumulative worker-lifecycle counters, never retired — streaming
+/// checkpoints report them directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleCounts {
+    /// Workers ever recruited by the platform.
+    pub recruited: usize,
+    /// Workers evicted by pool maintenance.
+    pub evicted: u64,
+    /// Workers who walked out mid-assignment.
+    pub departed: u64,
+    /// Reserve workers released by the idle timeout.
+    pub reserve_expired: u64,
+    /// Stale (pre-blackout generation) members retired at checkout.
+    pub stale_retired: u64,
+}
+
 /// The CLAMShell batch executor. See module docs.
 pub struct Runner {
     cfg: RunConfig,
@@ -62,6 +91,15 @@ pub struct Runner {
 
     tasks: Vec<TaskState>,
     assignments: Vec<Assignment>,
+
+    /// Id of `tasks[0]`. Task/assignment ids are *stream positions* that
+    /// keep growing for the lifetime of a run; in batch mode they equal
+    /// table indices (base 0), but [`Runner::retire_completed`] drops the
+    /// completed prefix and bumps the bases so streamed-run memory stays
+    /// bounded. All table lookups subtract the base (see [`StateView`]).
+    task_base: u32,
+    /// Id of `assignments[0]` (see `task_base`).
+    assignment_base: u32,
 
     /// Current batch's task ids.
     batch_tasks: Vec<TaskId>,
@@ -169,6 +207,8 @@ impl Runner {
             maintainer: Maintainer::new(),
             tasks: Vec::new(),
             assignments: Vec::new(),
+            task_base: 0,
+            assignment_base: 0,
             batch_tasks: Vec::new(),
             batch_index: 0,
             idle: BTreeSet::new(),
@@ -272,7 +312,7 @@ impl Runner {
                 spec.truths.iter().all(|&t| t < self.cfg.n_classes),
                 "task truth out of class range"
             );
-            let id = TaskId(self.tasks.len() as u32);
+            let id = TaskId(self.task_base + self.tasks.len() as u32);
             self.tasks.push(TaskState::new(spec, index, start));
             self.batch_tasks.push(id);
         }
@@ -378,6 +418,113 @@ impl Runner {
     pub fn dump_obs(&self) {
         if let Some(obs) = &self.obs {
             let _ = obs.dump("panic-dump", self.cfg.seed, &mut std::io::stderr().lock());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming service mode: incremental report access + retirement
+    // ------------------------------------------------------------------
+
+    /// Table index for a task id (ids are stream positions; lookups
+    /// subtract the retired-prefix base).
+    fn task_ix(&self, tid: TaskId) -> usize {
+        (tid.0 - self.task_base) as usize
+    }
+
+    /// Table index for an assignment id (see [`Self::task_ix`]).
+    fn assign_ix(&self, aid: AssignmentId) -> usize {
+        (aid.0 - self.assignment_base) as usize
+    }
+
+    /// The assignment for `aid` if it is still live; `None` for stale
+    /// ids. An id can be stale two ways — the assignment was terminated
+    /// or completed earlier, or its state was dropped by
+    /// [`Self::retire_completed`] — and retired assignments are all dead,
+    /// so both collapse into the same early return for queued
+    /// `AssignmentDone`/`Walkout` events.
+    fn live_assignment(&self, aid: AssignmentId) -> Option<Assignment> {
+        if aid.0 < self.assignment_base {
+            return None;
+        }
+        let a = self.assignments[(aid.0 - self.assignment_base) as usize];
+        a.is_live().then_some(a)
+    }
+
+    /// Task records logged so far and not yet retired, in completion
+    /// order. Streaming checkpoints fold the suffix that appeared since
+    /// the previous boundary.
+    pub fn task_records(&self) -> &[TaskRecord] {
+        &self.task_records
+    }
+
+    /// Assignment records logged so far and not yet retired.
+    pub fn assignment_records(&self) -> &[AssignmentRecord] {
+        &self.assignment_records
+    }
+
+    /// Per-batch statistics logged so far and not yet retired.
+    pub fn batch_stats(&self) -> &[BatchStats] {
+        &self.batch_stats
+    }
+
+    /// Snapshot of the cumulative cost ledger (never retired).
+    pub fn cost_so_far(&self) -> CostLedger {
+        *self.platform.ledger()
+    }
+
+    /// Cumulative worker-lifecycle counters (never retired).
+    pub fn lifecycle_counts(&self) -> LifecycleCounts {
+        LifecycleCounts {
+            recruited: self.platform.workers_recruited(),
+            evicted: self.maintainer.evictions,
+            departed: self.workers_departed,
+            reserve_expired: self.reserve_expired,
+            stale_retired: self.stale_retired,
+        }
+    }
+
+    /// Streaming observability probe: `(events recorded, trace
+    /// fingerprint over every event so far)`. `None` when obs is
+    /// disabled. The fingerprint matches what
+    /// [`Runner::finish`] would report at this instant, so streamed
+    /// checkpoints can pin the trace without draining the recorder.
+    pub fn obs_probe(&self) -> Option<(u64, u64)> {
+        self.obs.as_ref().map(|obs| {
+            let fp = clamshell_obs::trace::fingerprint_events(obs.recorder.iter());
+            (obs.recorder.recorded(), fp)
+        })
+    }
+
+    /// Retire all completed-task state, keeping streamed-run memory
+    /// bounded: drains the report rows accumulated since the last
+    /// retirement, clears the task/assignment tables (capacity is kept,
+    /// so steady-state batches stop allocating), and bumps the id bases.
+    ///
+    /// Only callable at a batch boundary, when every admitted task has
+    /// completed — which also means every assignment is dead
+    /// ([`Runner::run_batch`] terminates leftover replicas at task
+    /// completion). Cumulative scalars (cost ledger, lifecycle counters,
+    /// run start/last-completion) are never retired, so
+    /// [`Runner::finish`] still reports them correctly; only the row
+    /// vectors come back empty in retire mode.
+    pub fn retire_completed(&mut self) -> RetiredRows {
+        assert!(
+            self.tasks.iter().all(|t| t.completed_at.is_some()),
+            "retire_completed is a batch-boundary operation: every admitted task must be complete"
+        );
+        debug_assert!(
+            self.assignments.iter().all(|a| !a.is_live()),
+            "completed batches leave no live assignments"
+        );
+        self.task_base += self.tasks.len() as u32;
+        self.assignment_base += self.assignments.len() as u32;
+        self.tasks.clear();
+        self.assignments.clear();
+        self.batch_tasks.clear();
+        RetiredRows {
+            tasks: std::mem::take(&mut self.task_records),
+            assignments: std::mem::take(&mut self.assignment_records),
+            batches: std::mem::take(&mut self.batch_stats),
         }
     }
 
@@ -557,17 +704,18 @@ impl Runner {
     /// drops the departed worker's sample and counts the walkout against
     /// the reserve budget.
     fn on_walkout(&mut self, aid: AssignmentId) {
-        let a = self.assignments[aid.0 as usize];
-        if !a.is_live() {
+        let Some(a) = self.live_assignment(aid) else {
             return; // terminated (straggler cap / completion) before walking
-        }
+        };
         let now = self.now();
         let w = a.worker;
-        self.assignments[aid.0 as usize].terminated = Some(now);
-        self.tasks[a.task.0 as usize].active.retain(|&x| x != aid);
+        let aix = self.assign_ix(aid);
+        self.assignments[aix].terminated = Some(now);
+        let tix = self.task_ix(a.task);
+        self.tasks[tix].active.retain(|&x| x != aid);
         self.assignment_records.push(AssignmentRecord {
             task: a.task.0,
-            batch: self.tasks[a.task.0 as usize].batch,
+            batch: self.tasks[tix].batch,
             worker: w,
             start: a.start,
             end: now,
@@ -602,30 +750,28 @@ impl Runner {
     }
 
     fn on_assignment_done(&mut self, aid: AssignmentId) {
-        let a = self.assignments[aid.0 as usize];
-        if !a.is_live() {
-            return; // was terminated earlier; stale event
-        }
+        let Some(a) = self.live_assignment(aid) else {
+            return; // was terminated earlier (or retired); stale event
+        };
         let now = self.now();
         let tid = a.task;
         let w = a.worker;
-        let ng = self.tasks[tid.0 as usize].spec.ng();
+        let tix = self.task_ix(tid);
+        let ng = self.tasks[tix].spec.ng();
 
         // Mark complete, detach from the task.
-        self.assignments[aid.0 as usize].completed = Some(now);
-        self.tasks[tid.0 as usize].active.retain(|&x| x != aid);
+        let aix = self.assign_ix(aid);
+        self.assignments[aix].completed = Some(now);
+        self.tasks[tix].active.retain(|&x| x != aid);
 
         // Produce the answer. The truths slice borrows straight out of the
         // task table (disjoint from `self.platform`), so no per-assignment
         // clone of the spec is needed.
-        let labels = self.platform.sample_labels(
-            w,
-            &self.tasks[tid.0 as usize].spec.truths,
-            self.cfg.n_classes,
-        );
+        let labels =
+            self.platform.sample_labels(w, &self.tasks[tix].spec.truths, self.cfg.n_classes);
         let age_before = self.pool.age(w);
         let span = now.since(a.start);
-        self.tasks[tid.0 as usize].responses.push(TaskResponse {
+        self.tasks[tix].responses.push(TaskResponse {
             worker: w,
             labels,
             at: now,
@@ -643,7 +789,7 @@ impl Runner {
 
         self.assignment_records.push(AssignmentRecord {
             task: tid.0,
-            batch: self.tasks[tid.0 as usize].batch,
+            batch: self.tasks[tix].batch,
             worker: w,
             start: a.start,
             end: now,
@@ -662,7 +808,7 @@ impl Runner {
         }
 
         // Quorum check.
-        let responses = self.tasks[tid.0 as usize].responses.len();
+        let responses = self.tasks[tix].responses.len();
         if responses >= self.cfg.quorum as usize {
             self.complete_task(tid, w);
         } else {
@@ -681,7 +827,8 @@ impl Runner {
         // in a reused vote buffer (one ballot allocation total, not one
         // per record per task).
         let mut votes = std::mem::take(&mut self.votes_scratch);
-        let task = &self.tasks[tid.0 as usize];
+        let tix = self.task_ix(tid);
+        let task = &self.tasks[tix];
         let ng = task.spec.ng() as usize;
         let mut finals = Vec::with_capacity(ng);
         for rec in 0..ng {
@@ -693,7 +840,7 @@ impl Runner {
             finals.push(majority_vote(&votes).expect("complete task has responses"));
         }
         self.votes_scratch = votes;
-        let task = &self.tasks[tid.0 as usize];
+        let task = &self.tasks[tix];
         // Label accuracy against the simulator's ground truth (the
         // adversity experiments report the delta vs the benign baseline).
         let correct = finals.iter().zip(&task.spec.truths).filter(|(a, b)| a == b).count() as u32;
@@ -716,7 +863,7 @@ impl Runner {
             }
         }
 
-        let task = &mut self.tasks[tid.0 as usize];
+        let task = &mut self.tasks[tix];
         task.completed_at = Some(now);
         task.final_labels = Some(finals);
         // Detach the leftover replicas by moving the vector out (no
@@ -727,12 +874,12 @@ impl Runner {
             self.terminate_assignment(aid, finisher);
         }
         leftovers.clear();
-        self.tasks[tid.0 as usize].active = leftovers;
+        self.tasks[tix].active = leftovers;
 
         self.task_records.push(TaskRecord {
             task: tid.0,
             batch,
-            ng: self.tasks[tid.0 as usize].spec.ng(),
+            ng: self.tasks[tix].spec.ng(),
             created,
             completed: now,
             winner,
@@ -746,11 +893,11 @@ impl Runner {
     /// concurrency to the new cap by terminating the longest-running
     /// (straggling) replicas.
     fn enforce_cap(&mut self, tid: TaskId, finisher: WorkerId) {
-        let remaining =
-            self.cfg.quorum.saturating_sub(self.tasks[tid.0 as usize].responses.len() as u32);
+        let tix = self.task_ix(tid);
+        let remaining = self.cfg.quorum.saturating_sub(self.tasks[tix].responses.len() as u32);
         let cap = self.concurrency_cap(remaining);
         loop {
-            let task = &self.tasks[tid.0 as usize];
+            let task = &self.tasks[tix];
             if task.active.len() <= cap {
                 break;
             }
@@ -759,10 +906,10 @@ impl Runner {
                 .active
                 .iter()
                 .copied()
-                .min_by_key(|&a| (self.assignments[a.0 as usize].start, a))
+                .min_by_key(|&a| (self.assignments[(a.0 - self.assignment_base) as usize].start, a))
                 // clamshell-lint: allow(D006) -- guarded above: this branch only runs when the task still has live replicas
                 .expect("non-empty active set");
-            self.tasks[tid.0 as usize].active.retain(|&x| x != oldest);
+            self.tasks[tix].active.retain(|&x| x != oldest);
             self.terminate_assignment(oldest, finisher);
         }
     }
@@ -771,10 +918,12 @@ impl Runner {
     /// worker for partial work and freeing them after the dialog overhead.
     fn terminate_assignment(&mut self, aid: AssignmentId, caused_by: WorkerId) {
         let now = self.now();
-        let a = self.assignments[aid.0 as usize];
+        let aix = self.assign_ix(aid);
+        let a = self.assignments[aix];
         debug_assert!(a.is_live(), "terminating a dead assignment");
-        self.assignments[aid.0 as usize].terminated = Some(now);
-        let ng = self.tasks[a.task.0 as usize].spec.ng();
+        self.assignments[aix].terminated = Some(now);
+        let atix = self.task_ix(a.task);
+        let ng = self.tasks[atix].spec.ng();
         self.platform.pay_terminated(ng as u64);
         if self.pool.contains(a.worker) {
             self.pool.finish_work(a.worker, now, false);
@@ -789,7 +938,7 @@ impl Runner {
 
         self.assignment_records.push(AssignmentRecord {
             task: a.task.0,
-            batch: self.tasks[a.task.0 as usize].batch,
+            batch: self.tasks[atix].batch,
             worker: a.worker,
             start: a.start,
             end: now,
@@ -846,12 +995,14 @@ impl Runner {
         //    votes, in task order.
         let mut pick: Option<TaskId> = None;
         for &tid in &self.batch_tasks {
-            let task = &self.tasks[tid.0 as usize];
+            let task = &self.tasks[(tid.0 - self.task_base) as usize];
             if task.completed_at.is_some() {
                 continue;
             }
             let remaining = self.cfg.quorum.saturating_sub(task.responses.len() as u32) as usize;
-            if task.active.len() < remaining && !task.has_worker(w, &self.assignments) {
+            if task.active.len() < remaining
+                && !task.has_worker(w, &self.assignments, self.assignment_base)
+            {
                 pick = Some(tid);
                 break;
             }
@@ -865,15 +1016,21 @@ impl Runner {
                 let mut eligible = std::mem::take(&mut self.eligible_scratch);
                 eligible.clear();
                 eligible.extend(self.batch_tasks.iter().copied().filter(|&tid| {
-                    let task = &self.tasks[tid.0 as usize];
+                    let task = &self.tasks[(tid.0 - self.task_base) as usize];
                     if task.completed_at.is_some() || task.active.is_empty() {
                         return false;
                     }
                     let remaining = self.cfg.quorum.saturating_sub(task.responses.len() as u32);
                     task.active.len() < self.concurrency_cap(remaining)
-                        && !task.has_worker(w, &self.assignments)
+                        && !task.has_worker(w, &self.assignments, self.assignment_base)
                 }));
-                pick = route(sm.routing, &eligible, &self.tasks, &self.assignments, &mut self.rng);
+                let view = StateView {
+                    tasks: &self.tasks,
+                    assignments: &self.assignments,
+                    task_base: self.task_base,
+                    assignment_base: self.assignment_base,
+                };
+                pick = route(sm.routing, &eligible, &view, &mut self.rng);
                 self.eligible_scratch = eligible;
             }
         }
@@ -922,9 +1079,10 @@ impl Runner {
             obs.record(now, TraceKind::Checkout { worker: w.0, waited_ms: waited.as_millis() });
         }
 
-        let ng = self.tasks[tid.0 as usize].spec.ng();
+        let tix = self.task_ix(tid);
+        let ng = self.tasks[tix].spec.ng();
         let dur = self.platform.sample_task_duration(w, ng);
-        let aid = AssignmentId(self.assignments.len() as u32);
+        let aid = AssignmentId(self.assignment_base + self.assignments.len() as u32);
         self.assignments.push(Assignment {
             id: aid,
             task: tid,
@@ -934,7 +1092,7 @@ impl Runner {
             terminated: None,
             completed: None,
         });
-        self.tasks[tid.0 as usize].active.push(aid);
+        self.tasks[tix].active.push(aid);
         self.maintainer.stats_mut(w).started += 1;
         if let Some(obs) = &mut self.obs {
             obs.record(now, TraceKind::Dispatch { worker: w.0, task: tid.0, assignment: aid.0 });
@@ -961,7 +1119,9 @@ impl Runner {
     }
 
     fn batch_complete(&self) -> bool {
-        self.batch_tasks.iter().all(|&tid| self.tasks[tid.0 as usize].completed_at.is_some())
+        self.batch_tasks
+            .iter()
+            .all(|&tid| self.tasks[(tid.0 - self.task_base) as usize].completed_at.is_some())
     }
 
     // ------------------------------------------------------------------
@@ -1006,7 +1166,7 @@ impl Runner {
         }
         let mut demand = 0usize;
         for &tid in &self.batch_tasks {
-            let task = &self.tasks[tid.0 as usize];
+            let task = &self.tasks[(tid.0 - self.task_base) as usize];
             if task.completed_at.is_some() {
                 continue;
             }
@@ -1065,7 +1225,7 @@ impl Runner {
         let mut lat = OnlineStats::new();
         let mut mpl = OnlineStats::new();
         for &tid in &self.batch_tasks {
-            let task = &self.tasks[tid.0 as usize];
+            let task = &self.tasks[(tid.0 - self.task_base) as usize];
             if let Some(done) = task.completed_at {
                 lat.push(done.since(task.created).as_secs_f64());
             }
@@ -1086,21 +1246,58 @@ impl Runner {
     }
 }
 
+/// Deterministic chunk-size source shared by [`run_batched`] and the
+/// streaming engine (`clamshell-stream`).
+///
+/// Yields the caller's fixed batch size, unless a
+/// [`BurstFault`] is configured — then
+/// burst sizes are drawn uniformly from `[min_batch, max_batch]` on the
+/// dedicated fault stream, one draw per chunk. Centralizing the draw is
+/// load-bearing for the streamed/batched equivalence contract: both
+/// entry points consume the identical size sequence, so batch boundaries
+/// (and every downstream scheduling decision) coincide bit for bit.
+pub struct BatchSizer {
+    fixed: usize,
+    bursts: Option<(BurstFault, Rng)>,
+}
+
+impl BatchSizer {
+    /// Build from the run configuration and the caller's batch size.
+    /// The fault stream is stateless, so construction order relative to
+    /// [`Runner::new`] cannot matter.
+    pub fn new(cfg: &RunConfig, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let bursts = cfg
+            .adversity
+            .as_ref()
+            .and_then(|a| a.bursts)
+            .map(|b| (b, fault_stream(cfg.seed, streams::BURSTS)));
+        BatchSizer { fixed: batch_size, bursts }
+    }
+
+    /// Size of the next chunk to admit (always positive).
+    pub fn next_size(&mut self) -> usize {
+        match &mut self.bursts {
+            Some((b, rng)) => b.min_batch + rng.index(b.max_batch - b.min_batch + 1),
+            None => self.fixed,
+        }
+    }
+}
+
 /// Convenience: run `specs` split into `batch_size` chunks end-to-end.
 ///
-/// With a [`BurstFault`](crate::adversity::BurstFault) configured, the
+/// With a [`BurstFault`] configured, the
 /// fixed `batch_size` is replaced by burst sizes drawn uniformly from
-/// `[min_batch, max_batch]` on a dedicated fault stream — the task
-/// stream itself (content and order) is untouched.
+/// `[min_batch, max_batch]` on a dedicated fault stream (see
+/// [`BatchSizer`]) — the task stream itself (content and order) is
+/// untouched.
 pub fn run_batched(
     cfg: RunConfig,
     population: Population,
     specs: Vec<TaskSpec>,
     batch_size: usize,
 ) -> RunReport {
-    assert!(batch_size > 0, "batch_size must be positive");
-    let bursts = cfg.adversity.as_ref().and_then(|a| a.bursts);
-    let mut burst_rng = bursts.map(|_| fault_stream(cfg.seed, streams::BURSTS));
+    let mut sizer = BatchSizer::new(&cfg, batch_size);
     let mut runner = Runner::new(cfg, population);
     runner.reserve_tasks(specs.len());
     runner.warm_up();
@@ -1111,11 +1308,7 @@ pub fn run_batched(
         // disabled path below stays free of the catch-unwind machinery.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             while iter.peek().is_some() {
-                let take = match (&bursts, &mut burst_rng) {
-                    (Some(b), Some(rng)) => b.min_batch + rng.index(b.max_batch - b.min_batch + 1),
-                    _ => batch_size,
-                };
-                let chunk: Vec<TaskSpec> = iter.by_ref().take(take).collect();
+                let chunk: Vec<TaskSpec> = iter.by_ref().take(sizer.next_size()).collect();
                 runner.run_batch(chunk);
             }
         }));
@@ -1125,11 +1318,7 @@ pub fn run_batched(
         }
     } else {
         while iter.peek().is_some() {
-            let take = match (&bursts, &mut burst_rng) {
-                (Some(b), Some(rng)) => b.min_batch + rng.index(b.max_batch - b.min_batch + 1),
-                _ => batch_size,
-            };
-            let chunk: Vec<TaskSpec> = iter.by_ref().take(take).collect();
+            let chunk: Vec<TaskSpec> = iter.by_ref().take(sizer.next_size()).collect();
             runner.run_batch(chunk);
         }
     }

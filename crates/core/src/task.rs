@@ -122,9 +122,20 @@ impl TaskState {
 
     /// Whether `worker` already holds or held a live/completed assignment
     /// for this task (a worker never works the same task twice).
-    pub fn has_worker(&self, worker: WorkerId, assignments: &[Assignment]) -> bool {
+    /// `assignment_base` is the id of `assignments[0]` — zero for a
+    /// whole-run table, non-zero once the runner has retired completed
+    /// state (see [`StateView`]).
+    pub fn has_worker(
+        &self,
+        worker: WorkerId,
+        assignments: &[Assignment],
+        assignment_base: u32,
+    ) -> bool {
         self.responses.iter().any(|r| r.worker == worker)
-            || self.active.iter().any(|&a| assignments[a.0 as usize].worker == worker)
+            || self
+                .active
+                .iter()
+                .any(|&a| assignments[(a.0 - assignment_base) as usize].worker == worker)
     }
 
     /// Latency from batch start to completion (Figure 3/10's per-task
@@ -151,6 +162,45 @@ pub struct Assignment {
     pub terminated: Option<SimTime>,
     /// Set when the assignment completed and produced an answer.
     pub completed: Option<SimTime>,
+}
+
+/// A borrowed, base-offset view over the runner's task and assignment
+/// tables.
+///
+/// Ids ([`TaskId`], [`AssignmentId`]) are *stream positions*: they keep
+/// growing for the lifetime of a run. In batch mode they coincide with
+/// table indices, but the streaming service mode retires completed-task
+/// state at batch boundaries to keep memory bounded, after which the
+/// tables hold only the live tail and `tasks[0]` has id `task_base`.
+/// This view packages the slices with their bases so policy code (e.g.
+/// [`route`](crate::lifeguard::route)) resolves ids identically in both
+/// modes.
+pub struct StateView<'a> {
+    /// The (possibly retired-prefix) task table.
+    pub tasks: &'a [TaskState],
+    /// The (possibly retired-prefix) assignment table.
+    pub assignments: &'a [Assignment],
+    /// Id of `tasks[0]`.
+    pub task_base: u32,
+    /// Id of `assignments[0]`.
+    pub assignment_base: u32,
+}
+
+impl<'a> StateView<'a> {
+    /// A view over whole-run tables (ids are plain indices).
+    pub fn full(tasks: &'a [TaskState], assignments: &'a [Assignment]) -> Self {
+        StateView { tasks, assignments, task_base: 0, assignment_base: 0 }
+    }
+
+    /// Resolve a task id.
+    pub fn task(&self, id: TaskId) -> &'a TaskState {
+        &self.tasks[(id.0 - self.task_base) as usize]
+    }
+
+    /// Resolve an assignment id.
+    pub fn assignment(&self, id: AssignmentId) -> &'a Assignment {
+        &self.assignments[(id.0 - self.assignment_base) as usize]
+    }
 }
 
 impl Assignment {
@@ -215,9 +265,9 @@ mod tests {
             terminated: None,
             completed: None,
         }];
-        assert!(!ts.has_worker(WorkerId(7), &assignments));
+        assert!(!ts.has_worker(WorkerId(7), &assignments, 0));
         ts.active.push(AssignmentId(0));
-        assert!(ts.has_worker(WorkerId(7), &assignments));
+        assert!(ts.has_worker(WorkerId(7), &assignments, 0));
         ts.active.clear();
         ts.responses.push(TaskResponse {
             worker: WorkerId(7),
@@ -226,8 +276,36 @@ mod tests {
             latency: SimDuration::from_secs(3),
             worker_age: 0,
         });
-        assert!(ts.has_worker(WorkerId(7), &assignments));
-        assert!(!ts.has_worker(WorkerId(8), &assignments));
+        assert!(ts.has_worker(WorkerId(7), &assignments, 0));
+        assert!(!ts.has_worker(WorkerId(8), &assignments, 0));
+    }
+
+    #[test]
+    fn state_view_resolves_base_offset_ids() {
+        let a = Assignment {
+            id: AssignmentId(5),
+            task: TaskId(3),
+            worker: WorkerId(9),
+            start: t(1),
+            planned_end: t(2),
+            terminated: None,
+            completed: None,
+        };
+        let mut ts = TaskState::new(TaskSpec::new(vec![0]), 2, t(0));
+        ts.active.push(AssignmentId(5));
+        let tasks = vec![ts];
+        let assignments = vec![a];
+        let view = StateView {
+            tasks: &tasks,
+            assignments: &assignments,
+            task_base: 3,
+            assignment_base: 5,
+        };
+        assert_eq!(view.task(TaskId(3)).batch, 2);
+        assert_eq!(view.assignment(AssignmentId(5)).worker, WorkerId(9));
+        assert!(tasks[0].has_worker(WorkerId(9), &assignments, 5));
+        let full = StateView::full(&tasks, &assignments);
+        assert_eq!(full.task_base, 0);
     }
 
     #[test]

@@ -16,17 +16,31 @@ use std::collections::{BTreeMap, BTreeSet};
 pub const SUPPRESSIBLE: &[&str] = &["D001", "D002", "D003", "D004", "D005", "D006", "D007"];
 
 /// Crates whose library code must uphold the full determinism contract.
-const DETERMINISTIC_CRATES: &[&str] =
-    &["core", "sim", "crowd", "sweep", "scenarios", "quality", "trace", "learn", "obs", "root"];
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "core",
+    "sim",
+    "crowd",
+    "sweep",
+    "stream",
+    "scenarios",
+    "quality",
+    "trace",
+    "learn",
+    "obs",
+    "root",
+];
 
 /// The only places allowed to read the process environment (D003):
 /// thread-count resolution and the golden-master bless flag.
 const ENV_INGRESS: &[&str] = &["crates/sweep/src/threads.rs", "crates/scenarios/src/golden.rs"];
 
 /// Hot-path files where `unwrap()`/`expect()` are forbidden (D006): the
-/// discrete-event runner and the whole sweep engine.
+/// discrete-event runner, the whole sweep engine, and the streaming
+/// service engine.
 fn is_hot_path(rel: &str) -> bool {
-    rel == "crates/core/src/runner.rs" || rel.starts_with("crates/sweep/src/")
+    rel == "crates/core/src/runner.rs"
+        || rel == "crates/stream/src/engine.rs"
+        || rel.starts_with("crates/sweep/src/")
 }
 
 /// A `fault_stream` / `fork` label argument found at a call site.

@@ -36,10 +36,12 @@
 pub mod catalog;
 pub mod golden;
 pub mod report;
+pub mod streaming;
 pub mod trace;
 
 pub use catalog::{catalog, find, grid, names, ScenarioDef};
 pub use report::CompactReport;
+pub use streaming::StreamCell;
 pub use trace::{TraceCell, TraceRow};
 
 use clamshell_core::RunConfig;

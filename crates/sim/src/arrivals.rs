@@ -1,0 +1,242 @@
+//! Deterministic open-loop task arrival schedules.
+//!
+//! The streaming service mode (`clamshell-stream`) models tasks arriving
+//! continuously at a target rate instead of materializing as a prebuilt
+//! batch. The arrival process is *open-loop*: arrival instants are a pure
+//! function of `(seed, rate)` drawn from a dedicated labeled stream (the
+//! same [`fault_stream`] mechanism every adversity fault uses), and they
+//! never gate admission or advance the simulated clock — the runner's
+//! scheduling decisions are therefore identical at any rate, which is
+//! what makes the streamed/batched bit-for-bit equivalence contract hold
+//! (see ARCHITECTURE.md, "Streaming service mode"). Arrivals feed only
+//! the *observability* side of a stream run: each `StreamCheckpoint`
+//! reports how many tasks had arrived by the checkpoint instant and the
+//! resulting backlog.
+//!
+//! Like [`OutageSchedule`](crate::faults::OutageSchedule), the schedule
+//! is lazy and query-order-independent: inter-arrival gaps are
+//! exponential around `1/rate` seconds, floored at one millisecond so
+//! arrival instants are strictly increasing.
+
+use crate::dist::{Exponential, Sample};
+use crate::faults::fault_stream;
+use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
+
+/// Dedicated fault-stream label for the arrival process. Globally unique
+/// across all `fault_stream` call sites (lint rule D004).
+pub const ARRIVALS: u64 = 0x0A77_1DEA;
+
+/// The arrival process RNG: the single `fault_stream` call site both
+/// [`ArrivalSchedule`] and [`ArrivalCounter`] draw from, so the two
+/// views consume the *same* gap sequence by construction.
+fn arrivals_stream(seed: u64) -> Rng {
+    fault_stream(seed, ARRIVALS)
+}
+
+/// One inter-arrival gap: exponential around the configured mean,
+/// floored at a millisecond so arrival instants strictly increase.
+fn next_gap(rng: &mut Rng, gap: &Exponential) -> SimDuration {
+    SimDuration::from_secs_f64(gap.sample(rng)).max(SimDuration::from_millis(1))
+}
+
+/// A deterministic open-loop arrival timeline: the instants at which
+/// tasks 0, 1, 2, … of an unbounded stream arrive, generated lazily from
+/// a dedicated labeled stream of the run seed.
+///
+/// ```
+/// use clamshell_sim::arrivals::ArrivalSchedule;
+/// use clamshell_sim::time::SimTime;
+///
+/// let mut a = ArrivalSchedule::new(7, 2.0);
+/// let mut b = ArrivalSchedule::new(7, 2.0);
+/// assert_eq!(a.arrival_time(10), b.arrival_time(10));
+/// // Counting is monotone in time and consistent with arrival instants.
+/// let t = a.arrival_time(4);
+/// assert_eq!(a.arrived_by(t), 5);
+/// assert_eq!(a.arrived_by(SimTime::ZERO), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalSchedule {
+    rng: Rng,
+    gap: Exponential,
+    /// Arrival instants materialized so far, strictly increasing.
+    times: Vec<SimTime>,
+}
+
+impl ArrivalSchedule {
+    /// Build a schedule for `rate_per_sec` mean arrivals per simulated
+    /// second, drawing from the dedicated [`ARRIVALS`] stream of `seed`.
+    pub fn new(seed: u64, rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "arrival rate must be positive and finite"
+        );
+        ArrivalSchedule {
+            rng: arrivals_stream(seed),
+            gap: Exponential::from_mean(1.0 / rate_per_sec),
+            times: Vec::new(),
+        }
+    }
+
+    /// Extend the materialized timeline to cover at least `n` arrivals.
+    fn extend_to(&mut self, n: usize) {
+        while self.times.len() < n {
+            let prev = self.times.last().copied().unwrap_or(SimTime::ZERO);
+            let gap = next_gap(&mut self.rng, &self.gap);
+            self.times.push(prev + gap);
+        }
+    }
+
+    /// The arrival instant of the `i`-th task of the stream (0-indexed).
+    pub fn arrival_time(&mut self, i: usize) -> SimTime {
+        self.extend_to(i + 1);
+        self.times[i]
+    }
+
+    /// How many tasks have arrived at or before time `t`.
+    pub fn arrived_by(&mut self, t: SimTime) -> u64 {
+        while self.times.last().is_none_or(|&last| last <= t) {
+            let n = self.times.len();
+            self.extend_to(n + 1);
+        }
+        self.times.partition_point(|&at| at <= t) as u64
+    }
+
+    /// Arrival instants materialized so far (testing / reporting).
+    pub fn generated(&self) -> &[SimTime] {
+        &self.times
+    }
+}
+
+/// The constant-memory view of the same arrival timeline: counts
+/// arrivals at monotone non-decreasing probe times without materializing
+/// the instants. [`ArrivalSchedule`] memoizes every arrival it ever
+/// generates (O(arrivals) live bytes — fine for tests and reporting,
+/// fatal for an unbounded service run), so the streaming engine uses
+/// this instead: it keeps only the RNG cursor, the next pending arrival
+/// instant, and the count — O(1) regardless of stream length.
+///
+/// Both views draw from the same labeled stream with the same gap floor,
+/// so for any probe time `t`, `counter.arrived_by(t) ==
+/// schedule.arrived_by(t)` exactly.
+///
+/// ```
+/// use clamshell_sim::arrivals::{ArrivalCounter, ArrivalSchedule};
+/// use clamshell_sim::time::SimTime;
+///
+/// let mut counter = ArrivalCounter::new(7, 2.0);
+/// let mut schedule = ArrivalSchedule::new(7, 2.0);
+/// let t = SimTime::from_secs(30);
+/// assert_eq!(counter.arrived_by(t), schedule.arrived_by(t));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalCounter {
+    rng: Rng,
+    gap: Exponential,
+    /// The next not-yet-counted arrival instant.
+    next: SimTime,
+    count: u64,
+}
+
+impl ArrivalCounter {
+    /// Build a counter over the `(seed, rate_per_sec)` arrival timeline
+    /// (same parameters and stream as [`ArrivalSchedule::new`]).
+    pub fn new(seed: u64, rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "arrival rate must be positive and finite"
+        );
+        let mut rng = arrivals_stream(seed);
+        let gap = Exponential::from_mean(1.0 / rate_per_sec);
+        let next = SimTime::ZERO + next_gap(&mut rng, &gap);
+        ArrivalCounter { rng, gap, next, count: 0 }
+    }
+
+    /// How many tasks have arrived at or before time `t`.
+    ///
+    /// Probe times must be non-decreasing across calls: the counter only
+    /// moves forward. (The streaming engine's checkpoint instants are
+    /// monotone by construction.)
+    pub fn arrived_by(&mut self, t: SimTime) -> u64 {
+        while self.next <= t {
+            self.count += 1;
+            self.next += next_gap(&mut self.rng, &self.gap);
+        }
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_deterministic_and_strictly_increasing() {
+        let mut a = ArrivalSchedule::new(42, 1.5);
+        let mut b = ArrivalSchedule::new(42, 1.5);
+        let ta: Vec<SimTime> = (0..200).map(|i| a.arrival_time(i)).collect();
+        let tb: Vec<SimTime> = (0..200).map(|i| b.arrival_time(i)).collect();
+        assert_eq!(ta, tb);
+        for w in ta.windows(2) {
+            assert!(w[0] < w[1], "arrival instants strictly increase");
+        }
+    }
+
+    #[test]
+    fn different_seeds_and_rates_differ() {
+        let t = |seed, rate| ArrivalSchedule::new(seed, rate).arrival_time(9);
+        assert_ne!(t(1, 1.0), t(2, 1.0));
+        assert_ne!(t(1, 1.0), t(1, 4.0));
+    }
+
+    #[test]
+    fn count_is_query_order_independent() {
+        let mut fwd = ArrivalSchedule::new(3, 2.0);
+        let mut rev = ArrivalSchedule::new(3, 2.0);
+        let probes: Vec<SimTime> = (0..40).map(|i| SimTime::from_secs(i * 7)).collect();
+        let a: Vec<u64> = probes.iter().map(|&t| fwd.arrived_by(t)).collect();
+        let mut b: Vec<u64> = probes.iter().rev().map(|&t| rev.arrived_by(t)).collect();
+        b.reverse();
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0] <= w[1], "arrival counts are monotone in time");
+        }
+    }
+
+    #[test]
+    fn mean_rate_tracks_configuration() {
+        // 2 arrivals/sec over 1000 simulated seconds => ~2000 arrivals.
+        let mut s = ArrivalSchedule::new(5, 2.0);
+        let n = s.arrived_by(SimTime::from_secs(1000));
+        assert!((1700..2300).contains(&n), "arrivals={n}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        let _ = ArrivalSchedule::new(1, 0.0);
+    }
+
+    #[test]
+    fn counter_matches_schedule_exactly() {
+        for (seed, rate) in [(1u64, 0.25), (9, 2.0), (77, 50.0)] {
+            let mut counter = ArrivalCounter::new(seed, rate);
+            let mut schedule = ArrivalSchedule::new(seed, rate);
+            for i in 0..300 {
+                let t = SimTime::from_millis(i * 137);
+                assert_eq!(
+                    counter.arrived_by(t),
+                    schedule.arrived_by(t),
+                    "seed={seed} rate={rate} t={t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn counter_zero_rate_rejected() {
+        let _ = ArrivalCounter::new(1, 0.0);
+    }
+}

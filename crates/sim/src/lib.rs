@@ -22,12 +22,15 @@
 //! * [`faults`] — deterministic fault-injection primitives: labeled fault
 //!   RNG streams and the lazy outage schedule the adversity scenarios
 //!   defer platform events through.
+//! * [`arrivals`] — deterministic open-loop task arrival schedules for
+//!   the streaming service mode (`clamshell-stream`).
 //!
 //! Everything in this crate is pure computation: no I/O, no wall-clock
 //! access, no global state.
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod dist;
 pub mod events;
 pub mod faults;
@@ -35,6 +38,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use arrivals::{ArrivalCounter, ArrivalSchedule};
 pub use dist::{Beta, Exponential, LogNormal, Normal, TruncNormal};
 pub use events::EventQueue;
 pub use faults::{fault_stream, OutageSchedule};

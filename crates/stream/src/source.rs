@@ -1,0 +1,56 @@
+//! Deterministic unbounded task-spec sources.
+//!
+//! A streaming run consumes specs from an iterator instead of a prebuilt
+//! `Vec`; the equivalence contract compares the streamed run over the
+//! first `n` items against the batched run over the same `n` specs, so
+//! sources must be pure functions of their parameters.
+
+use clamshell_core::task::TaskSpec;
+
+/// The canonical service workload: an endless stream of `ng`-record
+/// tasks whose ground-truth labels alternate `0, 1, 0, 1, …` by task
+/// index — the same shape the conformance suite's finite workload uses,
+/// extended to infinity.
+///
+/// ```
+/// use clamshell_stream::source::alternating;
+/// let first: Vec<_> = alternating(2).take(3).collect();
+/// assert_eq!(first[0].truths, vec![0, 0]);
+/// assert_eq!(first[1].truths, vec![1, 1]);
+/// assert_eq!(first[2].truths, vec![0, 0]);
+/// ```
+pub fn alternating(ng: u32) -> impl Iterator<Item = TaskSpec> {
+    assert!(ng > 0, "tasks must group at least one record");
+    (0u64..).map(move |i| TaskSpec::new(vec![(i % 2) as u32; ng as usize]))
+}
+
+/// The first `n` specs of [`alternating`], materialized — the batched
+/// counterpart of a streamed run, for equivalence checks.
+pub fn alternating_specs(ng: u32, n: usize) -> Vec<TaskSpec> {
+    alternating(ng).take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matches_materialized_specs() {
+        let streamed: Vec<TaskSpec> = alternating(3).take(20).collect();
+        assert_eq!(streamed, alternating_specs(3, 20));
+        assert!(streamed.iter().all(|s| s.ng() == 3));
+    }
+
+    #[test]
+    fn truths_alternate_by_task_index() {
+        for (i, spec) in alternating(1).take(10).enumerate() {
+            assert_eq!(spec.truths, vec![(i % 2) as u32]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ng_rejected() {
+        let _ = alternating(0);
+    }
+}

@@ -1,57 +1,56 @@
-//! Streaming labeling through the Batcher (Figure 1's front door): tasks
-//! trickle in from a live application; the Batcher forms batches by
-//! size-or-timeout so neither throughput nor staleness collapses.
+//! Streaming service mode end to end: an open-loop task stream runs
+//! through the real streaming engine (`clamshell::stream`), completed
+//! state retires at every batch boundary so memory stays bounded, and
+//! each periodic checkpoint prints as a live dashboard row. The closing
+//! lines replay the same workload batched and verify the bit-for-bit
+//! equivalence contract on the spot.
 //!
 //! ```text
 //! cargo run --release --example streaming_dashboard
 //! ```
 
-use clamshell::core::batcher::{Batcher, BatcherConfig};
 use clamshell::prelude::*;
+use clamshell::stream::{dashboard, source};
 
 fn main() {
     let cfg = RunConfig { pool_size: 12, ng: 1, n_classes: 2, seed: 23, ..Default::default() }
         .with_straggler()
         .with_maintenance();
+    let n_tasks = 60;
+    let batch_size = 12;
 
-    let mut runner = Runner::new(cfg, Population::mturk_live());
-    runner.warm_up();
+    // Open-loop service knobs: arrivals at 0.05 tasks per simulated
+    // second (reporting-only — they never gate admission), a checkpoint
+    // every 12 completions, and retirement on, so the engine holds one
+    // batch of live state no matter how long the stream runs.
+    let knobs = StreamConfig { rate_per_sec: 0.05, checkpoint_every: 12, retire: true };
 
-    let mut batcher = Batcher::new(
-        BatcherConfig { batch_size: 12, max_delay: SimDuration::from_secs(20) },
-        runner,
+    // The source is an *unbounded* iterator; the engine admits exactly
+    // `n_tasks` from it in deterministic batch-sized chunks.
+    let outcome = run_stream(
+        cfg.clone(),
+        Population::mturk_live(),
+        source::alternating(1),
+        n_tasks,
+        batch_size,
+        &knobs,
     );
 
-    // A bursty arrival pattern: quiet stretches punctuated by bursts, the
-    // worst case for naive fixed-size batching (a lone task would wait
-    // forever for companions without the timeout trigger).
-    let mut dispatched = 0usize;
-    for burst in 0..6 {
-        let burst_size = [3usize, 14, 1, 12, 5, 9][burst];
-        for i in 0..burst_size {
-            if let Some(idx) = batcher.submit(TaskSpec::new(vec![(i % 2) as u32])) {
-                println!("burst {burst}: size trigger dispatched batch {idx}");
-                dispatched += 1;
-            }
-        }
-        // Quiet period between bursts; the timeout trigger may fire.
-        if let Some(idx) = batcher.idle(SimDuration::from_secs(45)) {
-            println!("burst {burst}: timeout trigger dispatched partial batch {idx}");
-            dispatched += 1;
-        }
-    }
+    println!("streaming dashboard ({n_tasks} tasks, retire-mode):\n");
+    print!("{}", dashboard::render(&outcome.checkpoints));
+    println!("{}", dashboard::summary(&outcome.checkpoints));
+    assert!(outcome.report.tasks.is_empty(), "retired rows live only in the digest");
 
+    // The equivalence witness: a batched run over the same spec prefix
+    // folds to the same three digests the stream accumulated while
+    // retiring its rows — the streamed service loop is the batch
+    // pipeline, bit for bit.
+    let specs = source::alternating_specs(1, n_tasks);
+    let batched = run_batched(cfg, Population::mturk_live(), specs, batch_size);
+    assert_eq!(outcome.digest.values(), StreamDigest::of(&batched).values());
     println!(
-        "\nmean arrival->dispatch queueing wait: {:.1}s (bounded by the 20s timeout)",
-        batcher.mean_queueing_wait_secs()
-    );
-    let report = batcher.finish();
-    println!(
-        "{} tasks labeled across {} batches ({} dispatched by triggers) in {:.0}s, cost ${:.2}",
-        report.tasks.len(),
-        report.batches.len(),
-        dispatched,
-        report.total_secs(),
-        report.cost.total_usd(),
+        "\nstreamed == batched bit-for-bit: task digest {}, {} labels either way",
+        clamshell::obs::fingerprint_hex(outcome.digest.values().0),
+        batched.labels_produced(),
     );
 }

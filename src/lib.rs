@@ -58,6 +58,7 @@
 //! | [`quality`] | Quality control: majority voting, Dawid–Skene EM, inter-worker agreement |
 //! | [`core`] | The CLAMShell system: runner, straggler mitigation, pool maintenance, hybrid learning, baselines |
 //! | [`sweep`] | Deterministic parallel sweep engine: seed × scenario grids on a work-stealing pool |
+//! | [`stream`] | Streaming service mode: open-loop task streams, periodic checkpoints, bounded-memory retirement |
 //! | [`scenarios`] | Named adversity scenarios (churn, spammers, outages, …) + golden-master conformance suite |
 
 pub use clamshell_core as core;
@@ -67,6 +68,7 @@ pub use clamshell_obs as obs;
 pub use clamshell_quality as quality;
 pub use clamshell_scenarios as scenarios;
 pub use clamshell_sim as sim;
+pub use clamshell_stream as stream;
 pub use clamshell_sweep as sweep;
 pub use clamshell_trace as trace;
 
@@ -100,7 +102,9 @@ pub mod prelude {
     pub use clamshell_obs::{MetricsSnapshot, ObsConfig, ObsReport};
     pub use clamshell_quality::{majority_vote, ConfusionEm, DawidSkene, EmConfig};
     pub use clamshell_scenarios::{CompactReport, ScenarioDef};
+    pub use clamshell_sim::arrivals::{ArrivalCounter, ArrivalSchedule};
     pub use clamshell_sim::{SimDuration, SimTime};
+    pub use clamshell_stream::{run_stream, StreamCheckpoint, StreamConfig, StreamDigest};
     pub use clamshell_sweep::{
         CancelToken, Grid, GridError, Metric, MetricsAggregator, ObsAggregator,
     };
