@@ -15,9 +15,11 @@
 //! wall-clock differs. Running this bench in measure mode (`cargo bench
 //! -p clamshell-bench --bench hotloop`) rewrites `BENCH_hotloop.json` at
 //! the repository root with events/sec for both queues, the runner's
-//! allocation counts, and the streaming service mode's bounded-memory
+//! allocation counts, the streaming service mode's bounded-memory
 //! profile (peak live heap of a retire-mode stream at 1k vs 100k tasks),
-//! so the perf trajectory is recorded in-tree. See README §
+//! and the sharded executor's bounded-memory profile (peak live heap of
+//! a checkpointed sweep at 10k vs 100k cells, fixed shard size), so the
+//! perf trajectory is recorded in-tree. See README §
 //! "Benchmarking & perf methodology" for how to read it.
 
 use criterion::{black_box, criterion_group, Criterion};
@@ -402,6 +404,59 @@ fn emit_baseline() {
          {stream_peak_100k} B at 100k tasks ({stream_growth:.2}x for 100x the stream)"
     );
 
+    // Sharded mega-sweep bounded-memory profile: peak live heap of a
+    // sharded sweep must track the *shard*, not the grid — 10x the
+    // cells at a fixed shard size may grow the peak only by allocator
+    // noise plus the (grid/shard-bounded) manifest line vector. The
+    // pool threads allocate through the same global counters, so the
+    // peak is a true whole-process high watermark.
+    let shard_peak = |n_cells: usize, shard_size: usize| {
+        let seeds: Vec<u64> = (1..=(n_cells / 2) as u64).collect();
+        let grid = clamshell_sweep::Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs(4, 2),
+            4,
+        )
+        .seeds(&seeds)
+        .scenario("sm", |c| c.straggler = Some(Default::default()))
+        .scenario("nosm", |c| c.straggler = None);
+        let mut agg = clamshell_sweep::MetricsAggregator::new(
+            grid.n_scenarios(),
+            clamshell_sweep::Metric::standard(),
+        );
+        let manifest = std::env::temp_dir().join(format!("clamshell_bench_shard_{n_cells}.jsonl"));
+        let _ = std::fs::remove_file(&manifest);
+        let opts = clamshell_sweep::ShardOptions {
+            shard_size,
+            manifest: manifest.clone(),
+            resume: false,
+            threads: Some(4),
+        };
+        let (out, peak) = peak_live_growth(|| {
+            clamshell_sweep::run_sharded(
+                &grid,
+                &mut agg,
+                &opts,
+                &clamshell_sweep::CancelToken::new(),
+                None,
+            )
+            .expect("sharded bench sweep")
+        });
+        assert!(out.is_complete(), "sharded bench sweep ran to completion");
+        let _ = std::fs::remove_file(&manifest);
+        peak
+    };
+    const SHARD: usize = 1024;
+    let _ = shard_peak(200, SHARD); // warm-up: spawn the pool outside the measurement
+    let shard_peak_10k = shard_peak(10_000, SHARD);
+    let shard_peak_100k = shard_peak(100_000, SHARD);
+    let shard_growth = shard_peak_100k as f64 / shard_peak_10k as f64;
+    eprintln!(
+        "  baseline sharded_sweep: peak live {shard_peak_10k} B at 10k cells vs \
+         {shard_peak_100k} B at 100k cells, shard {SHARD} ({shard_growth:.2}x for 10x the grid)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"hotloop\",\n  \"workload\": \"hold pattern: pop earliest event + \
          schedule replacement at now+delta, fixed pending count; runner row is one 300-task \
@@ -412,6 +467,9 @@ fn emit_baseline() {
          \"ratio\": {obs_ratio:.3}, \"events_recorded\": {obs_events}\n  }},\n  \
          \"stream_memory\": {{\n    \"peak_live_bytes_1k_tasks\": {stream_peak_1k}, \
          \"peak_live_bytes_100k_tasks\": {stream_peak_100k}, \"growth\": {stream_growth:.3}\n  \
+         }},\n  \"sharded_sweep\": {{\n    \"shard_size\": {SHARD}, \
+         \"peak_live_bytes_10k_cells\": {shard_peak_10k}, \
+         \"peak_live_bytes_100k_cells\": {shard_peak_100k}, \"growth\": {shard_growth:.3}\n  \
          }},\n  \"hardware\": \
          \"{threads}-core container (std::thread::available_parallelism); wall-clock \
          measurement via the vendored criterion shim — absolute numbers are indicative, \
@@ -446,6 +504,14 @@ fn emit_baseline() {
     assert!(
         stream_growth <= 4.0,
         "retire-mode stream peak grew {stream_growth:.2}x from 1k to 100k tasks \
+         (committed BENCH_hotloop.json left untouched)"
+    );
+    // Sharded sweeps must stay shard-bounded: 10x the grid at a fixed
+    // shard size may not grow the peak live set materially (the only
+    // O(grid/shard) term is the manifest line vector).
+    assert!(
+        shard_growth <= 4.0,
+        "sharded sweep peak grew {shard_growth:.2}x from 10k to 100k cells \
          (committed BENCH_hotloop.json left untouched)"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotloop.json");

@@ -12,6 +12,8 @@
 //! repro --scenario churn --format json        # machine-readable report
 //! repro serve --rate 0.05 --tasks 96 --checkpoint-every 8  # streaming
 //! repro serve --quick          # streaming service mode, smoke cell
+//! repro megasweep --cells 512 --shard-size 32   # sharded mega-grid
+//! repro megasweep --resume --manifest m.jsonl   # restart a killed sweep
 //! repro --help                 # usage (also -h)
 //! ```
 //!
@@ -33,6 +35,8 @@ usage: repro [--all] [--quick] [--seeds N] [--threads N] [--scenario NAME]
              [--trace PATH] [--format FMT] [--list] [name...]
        repro serve [--rate R] [--tasks N] [--checkpoint-every K]
                    [--scenario NAME] [--quick] [--seeds N] [--threads N]
+       repro megasweep [--cells N] [--shard-size S] [--manifest PATH]
+                       [--resume] [--quick] [--threads N]
 
   --all            run every experiment
   --quick          smaller workloads and a single seed (scale 0.25)
@@ -58,12 +62,26 @@ any thread count and ends with the streamed/batched equivalence line):
   --rate R             mean task arrivals per simulated second (default 0.01)
   --tasks N            stream length before --quick scaling (default 96)
   --checkpoint-every K completed tasks per checkpoint (default 8)
-  --scenario NAME      compose one adversity scenario with the stream";
+  --scenario NAME      compose one adversity scenario with the stream
+
+megasweep mode (sharded mega-grid with checkpoint/resume; the final
+table on stdout is bit-identical sharded vs unsharded, killed-and-
+resumed vs uninterrupted, at any thread count):
+  --cells N        total grid cells before --quick scaling (default 256)
+  --shard-size S   cells per shard: the memory bound and checkpoint
+                   granularity (default 32)
+  --manifest PATH  shard manifest, atomically rewritten per shard
+                   (default megasweep.manifest.jsonl)
+  --resume         restart from the manifest's last completed shard";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         serve_cli(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("megasweep") {
+        megasweep_cli(&args[1..]);
         return;
     }
     let mut run_all = false;
@@ -324,6 +342,69 @@ fn serve_cli(args: &[String]) {
     eprintln!("sweep engine: {} worker thread(s)", opts.thread_count());
     if let Err(msg) = serve(&opts, &sa) {
         eprintln!("{msg}; try --scenario list");
+        std::process::exit(2);
+    }
+}
+
+/// `repro megasweep ...`: parse sharded-sweep flags and run the
+/// mega-grid walkthrough. Stdout (header + final table) is
+/// bit-identical across thread counts, shard sizes, and kill/resume
+/// splits; progress and resume diagnostics go to stderr.
+fn megasweep_cli(args: &[String]) {
+    use clamshell_bench::experiments::megasweep::{megasweep, MegasweepArgs};
+
+    let mut ma = MegasweepArgs::default();
+    let mut quick = false;
+    let mut threads: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--quick" => quick = true,
+            "--resume" => ma.resume = true,
+            "--cells" => {
+                i += 1;
+                let n: usize =
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--cells takes a count");
+                ma.cells = n;
+            }
+            "--shard-size" => {
+                i += 1;
+                let s: usize =
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--shard-size takes a count");
+                ma.shard_size = s;
+            }
+            "--manifest" => {
+                i += 1;
+                let path = args.get(i).expect("--manifest takes a path").clone();
+                ma.manifest = std::path::PathBuf::from(path);
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize =
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--threads takes a count");
+                threads = Some(n);
+            }
+            other => {
+                eprintln!("unknown megasweep argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let mut opts = Opts::default();
+    if quick {
+        opts.scale = 0.25;
+        opts.seeds = vec![1];
+    }
+    opts.threads = threads;
+    println!("CLAMShell reproduction harness — seeds={:?} scale={}", opts.seeds, opts.scale);
+    eprintln!("sweep engine: {} worker thread(s)", opts.thread_count());
+    if let Err(msg) = megasweep(&opts, &ma) {
+        eprintln!("{msg}");
         std::process::exit(2);
     }
 }

@@ -4,6 +4,7 @@ pub mod adversity;
 pub mod combine;
 pub mod learning;
 pub mod maintenance;
+pub mod megasweep;
 pub mod pool_lifecycle;
 pub mod serve;
 pub mod straggler;

@@ -257,7 +257,7 @@ impl<'d> LearningRunner<'d> {
             let k_frac = if pool > 0 { active_k as f64 / pool as f64 } else { 1.0 };
             for (i, t) in runner.tasks().iter().filter(|t| t.batch == batch).enumerate() {
                 let row = t.spec.rows[0];
-                let label = t.final_labels.as_ref().expect("batch completed")[0];
+                let label = runner.final_labels(t).expect("batch completed")[0];
                 label_map.insert(row, label);
                 let weight = if self.learn_cfg.weight_by_ratio
                     && matches!(self.learn_cfg.strategy, Strategy::Hybrid { .. })

@@ -17,7 +17,9 @@ use crate::config::{QcMode, RunConfig};
 use crate::lifeguard::route;
 use crate::maintainer::Maintainer;
 use crate::metrics::{AssignmentRecord, BatchStats, RunReport, TaskRecord};
-use crate::task::{Assignment, AssignmentId, StateView, TaskId, TaskResponse, TaskSpec, TaskState};
+use crate::task::{
+    Assignment, AssignmentId, LabelSpan, StateView, TaskId, TaskResponse, TaskSpec, TaskState,
+};
 use clamshell_crowd::{CostLedger, RetainerPool, SimPlatform, WorkerId};
 use clamshell_obs::{RunObserver, TraceKind};
 use clamshell_quality::voting::{majority_vote, Vote};
@@ -160,6 +162,17 @@ pub struct Runner {
     votes_scratch: Vec<Vote>,
     eligible_scratch: Vec<TaskId>,
     kick_scratch: Vec<WorkerId>,
+    /// Staging buffer for a completing task's majority labels (they are
+    /// copied into the arena once complete — the ballot loop reads
+    /// response spans out of the arena, so it can't append mid-vote).
+    finals_scratch: Vec<u32>,
+
+    /// Shared storage for every response's labels and every task's final
+    /// labels ([`LabelSpan`] handles live in the task table). One arena
+    /// replaces one allocation per completed assignment plus one per
+    /// completed task — amortized to zero once its high-water mark is
+    /// reached, and cleared (capacity kept) when completed state retires.
+    label_arena: Vec<u32>,
 }
 
 impl Runner {
@@ -236,6 +249,8 @@ impl Runner {
             votes_scratch: Vec::new(),
             eligible_scratch: Vec::new(),
             kick_scratch: Vec::new(),
+            finals_scratch: Vec::new(),
+            label_arena: Vec::new(),
         }
     }
 
@@ -271,6 +286,17 @@ impl Runner {
     /// All task states (completed and otherwise).
     pub fn tasks(&self) -> &[TaskState] {
         &self.tasks
+    }
+
+    /// Resolve a [`LabelSpan`] from this runner's task table against its
+    /// label arena.
+    pub fn labels(&self, span: LabelSpan) -> &[u32] {
+        span.slice(&self.label_arena)
+    }
+
+    /// The majority-aggregated final labels of `task`, if complete.
+    pub fn final_labels(&self, task: &TaskState) -> Option<&[u32]> {
+        task.final_labels.map(|span| span.slice(&self.label_arena))
     }
 
     /// True mean per-label latency across current pool members — a
@@ -521,6 +547,10 @@ impl Runner {
         self.tasks.clear();
         self.assignments.clear();
         self.batch_tasks.clear();
+        // Every LabelSpan handle lives in the task table just cleared, so
+        // the arena holds no reachable spans; clearing it (capacity kept)
+        // is what makes streamed-run label memory bounded too.
+        self.label_arena.clear();
         RetiredRows {
             tasks: std::mem::take(&mut self.task_records),
             assignments: std::mem::take(&mut self.assignment_records),
@@ -765,10 +795,17 @@ impl Runner {
         self.tasks[tix].active.retain(|&x| x != aid);
 
         // Produce the answer. The truths slice borrows straight out of the
-        // task table (disjoint from `self.platform`), so no per-assignment
-        // clone of the spec is needed.
-        let labels =
-            self.platform.sample_labels(w, &self.tasks[tix].spec.truths, self.cfg.n_classes);
+        // task table (disjoint from `self.platform` and the arena), so no
+        // per-assignment clone of the spec is needed — and the labels are
+        // appended to the shared arena, so no per-assignment vector either.
+        let start = self.label_arena.len() as u32;
+        self.platform.sample_labels_into(
+            w,
+            &self.tasks[tix].spec.truths,
+            self.cfg.n_classes,
+            &mut self.label_arena,
+        );
+        let labels = LabelSpan { start, len: self.label_arena.len() as u32 - start };
         let age_before = self.pool.age(w);
         let span = now.since(a.start);
         self.tasks[tix].responses.push(TaskResponse {
@@ -827,15 +864,17 @@ impl Runner {
         // in a reused vote buffer (one ballot allocation total, not one
         // per record per task).
         let mut votes = std::mem::take(&mut self.votes_scratch);
+        let mut finals = std::mem::take(&mut self.finals_scratch);
+        finals.clear();
         let tix = self.task_ix(tid);
         let task = &self.tasks[tix];
         let ng = task.spec.ng() as usize;
-        let mut finals = Vec::with_capacity(ng);
         for rec in 0..ng {
             votes.clear();
-            votes.extend(
-                task.responses.iter().map(|r| Vote { worker: r.worker.0, label: r.labels[rec] }),
-            );
+            votes.extend(task.responses.iter().map(|r| Vote {
+                worker: r.worker.0,
+                label: r.labels.slice(&self.label_arena)[rec],
+            }));
             // clamshell-lint: allow(D006) -- a task only completes after >= 1 response, so the ballot is never empty
             finals.push(majority_vote(&votes).expect("complete task has responses"));
         }
@@ -857,15 +896,26 @@ impl Runner {
         // are disjoint fields, so this streams without a staging vector.
         if task.responses.len() >= 2 {
             let maintainer = &mut self.maintainer;
+            let arena = &self.label_arena;
             for r in &task.responses {
-                let matched = r.labels.iter().zip(&finals).filter(|(a, b)| a == b).count() as u64;
+                let matched =
+                    r.labels.slice(arena).iter().zip(&finals).filter(|(a, b)| a == b).count()
+                        as u64;
                 maintainer.stats_mut(r.worker).record_quality(matched, finals.len() as u64);
             }
         }
 
+        // The staged finals move into the arena (one append to shared
+        // storage, not a per-task vector) and the scratch goes back for
+        // the next completion.
+        let finals_span =
+            LabelSpan { start: self.label_arena.len() as u32, len: finals.len() as u32 };
+        self.label_arena.extend_from_slice(&finals);
+        self.finals_scratch = finals;
+
         let task = &mut self.tasks[tix];
         task.completed_at = Some(now);
-        task.final_labels = Some(finals);
+        task.final_labels = Some(finals_span);
         // Detach the leftover replicas by moving the vector out (no
         // clone); hand its capacity back once they're terminated.
         let mut leftovers = std::mem::take(&mut task.active);

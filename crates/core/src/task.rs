@@ -49,13 +49,45 @@ impl TaskSpec {
     }
 }
 
+/// A contiguous span of labels inside the runner's shared label arena.
+///
+/// Response and final-label vectors used to be one heap allocation per
+/// completed assignment (and one more per completed task) — the last
+/// per-assignment allocations in the hot loop. They now live
+/// back-to-back in a single run-wide arena
+/// ([`Runner::label_arena`](crate::runner::Runner::labels)), and task
+/// state stores only this `(start, len)` handle. Resolve a span with
+/// [`LabelSpan::slice`] against the owning runner's arena; spans are
+/// only meaningful against the arena they were created in, and die with
+/// their tasks when the runner retires completed state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelSpan {
+    /// Arena offset of the first label.
+    pub start: u32,
+    /// Number of labels in the span.
+    pub len: u32,
+}
+
+impl LabelSpan {
+    /// The empty span (no labels).
+    pub fn empty() -> Self {
+        LabelSpan { start: 0, len: 0 }
+    }
+
+    /// Resolve the span against its owning arena.
+    pub fn slice<'a>(&self, arena: &'a [u32]) -> &'a [u32] {
+        &arena[self.start as usize..(self.start + self.len) as usize]
+    }
+}
+
 /// One completed answer for a task.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TaskResponse {
     /// Who answered.
     pub worker: WorkerId,
-    /// Labels for each record of the task.
-    pub labels: Vec<u32>,
+    /// Labels for each record of the task (a span into the runner's
+    /// label arena — see [`LabelSpan`]).
+    pub labels: LabelSpan,
     /// When the answer arrived.
     pub at: SimTime,
     /// How long the winning assignment took.
@@ -91,8 +123,9 @@ pub struct TaskState {
     pub active: Vec<AssignmentId>,
     /// Completion time, once quorum is met.
     pub completed_at: Option<SimTime>,
-    /// Majority-aggregated labels, once complete.
-    pub final_labels: Option<Vec<u32>>,
+    /// Majority-aggregated labels, once complete (a span into the
+    /// runner's label arena — see [`LabelSpan`]).
+    pub final_labels: Option<LabelSpan>,
 }
 
 impl TaskState {
@@ -225,6 +258,14 @@ mod tests {
     }
 
     #[test]
+    fn label_span_resolves_against_arena() {
+        let arena = vec![9, 8, 7, 6, 5];
+        assert_eq!(LabelSpan { start: 1, len: 3 }.slice(&arena), &[8, 7, 6]);
+        assert_eq!(LabelSpan::empty().slice(&arena), &[] as &[u32]);
+        assert_eq!(LabelSpan::empty().slice(&[]), &[] as &[u32]);
+    }
+
+    #[test]
     fn spec_ng() {
         assert_eq!(TaskSpec::new(vec![0, 1, 0]).ng(), 3);
     }
@@ -271,7 +312,7 @@ mod tests {
         ts.active.clear();
         ts.responses.push(TaskResponse {
             worker: WorkerId(7),
-            labels: vec![0],
+            labels: LabelSpan::empty(),
             at: t(3),
             latency: SimDuration::from_secs(3),
             worker_age: 0,

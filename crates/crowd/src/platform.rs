@@ -192,8 +192,24 @@ impl SimPlatform {
     /// Sample worker `w`'s answers for a task whose records have ground
     /// truth `truths`, each out of `n_classes`.
     pub fn sample_labels(&mut self, w: WorkerId, truths: &[u32], n_classes: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(truths.len());
+        self.sample_labels_into(w, truths, n_classes, &mut out);
+        out
+    }
+
+    /// [`Self::sample_labels`], appending into a caller-owned buffer
+    /// instead of allocating. The draw order is identical, so a run built
+    /// from either entry point is bit-for-bit the same; the hot loop uses
+    /// this with the runner's label arena to stay allocation-free.
+    pub fn sample_labels_into(
+        &mut self,
+        w: WorkerId,
+        truths: &[u32],
+        n_classes: u32,
+        out: &mut Vec<u32>,
+    ) {
         let rw = &mut self.workers[w.0 as usize];
-        truths.iter().map(|&t| rw.profile.sample_label(t, n_classes, &mut rw.rng)).collect()
+        out.extend(truths.iter().map(|&t| rw.profile.sample_label(t, n_classes, &mut rw.rng)));
     }
 
     /// Sample how long worker `w` will tolerate waiting idle before

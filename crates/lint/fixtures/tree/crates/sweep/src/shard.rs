@@ -1,0 +1,22 @@
+//! Sharded-executor fixture: the checkpoint/resume module's hazards.
+//! Everything under `crates/sweep/src/` is hot-path, so a stray
+//! manifest-parse unwrap fires D006; shard knobs must arrive through
+//! `ShardOptions`, never the environment, so an env read here fires
+//! D003 (only `sweep::threads` and `scenarios::golden` are sanctioned).
+
+pub fn bad_manifest_field_unwrap(field: Option<u64>) -> u64 {
+    field.unwrap()
+}
+
+pub fn restore_checkpoint_words(words: Result<Vec<u64>, String>) -> Vec<u64> {
+    // clamshell-lint: allow(D006) -- fixture witness: the fp chain verified this snapshot upstream
+    words.expect("manifest chain verified")
+}
+
+pub fn bad_env_shard_size() -> Option<String> {
+    std::env::var("CLAMSHELL_SHARD_SIZE").ok()
+}
+
+pub fn manifest_lock_poison_is_exempt(manifest: &std::sync::Mutex<Vec<u64>>) -> usize {
+    manifest.lock().unwrap().len()
+}

@@ -184,6 +184,19 @@ fn pool_lifecycle_fixture_covers_the_new_module() {
 }
 
 #[test]
+fn shard_fixture_covers_the_sharded_executor() {
+    // The checkpoint/resume module's hazards: manifest parsing tempts
+    // unwraps (hot-path, D006), shard knobs tempt env reads (D003 — the
+    // shard module is not a sanctioned ingress point), and the mutex
+    // poison idiom stays exempt.
+    let report = lint_root(&fixture_root("tree")).expect("lint fixtures/tree");
+    let f = "crates/sweep/src/shard.rs";
+    assert_eq!(count(&report, f, "D006"), 1, "manifest-parse unwrap fires; poison idiom exempt");
+    assert_eq!(suppressed_count(&report, f, "D006"), 1, "chain-verified expect is suppressed");
+    assert_eq!(count(&report, f, "D003"), 1, "env-read shard knob fires D003");
+}
+
+#[test]
 fn clean_tree_is_clean() {
     let report = lint_root(&fixture_root("clean")).expect("lint fixtures/clean");
     assert!(report.diagnostics.is_empty(), "unexpected findings: {:?}", report.diagnostics);

@@ -73,6 +73,19 @@ impl OnlineStats {
         self.n += other.n;
     }
 
+    /// Checkpoint encoding: the accumulator's exact state as three
+    /// integer words `(n, mean_bits, m2_bits)`, floats as IEEE-754 bit
+    /// patterns. Shard manifests persist these because decimal float
+    /// formatting is not guaranteed to round-trip; the bit words are.
+    pub fn to_words(&self) -> [u64; 3] {
+        [self.n, self.mean.to_bits(), self.m2.to_bits()]
+    }
+
+    /// Rebuild an accumulator from [`Self::to_words`] output, bit-exact.
+    pub fn from_words(words: [u64; 3]) -> Self {
+        OnlineStats { n: words[0], mean: f64::from_bits(words[1]), m2: f64::from_bits(words[2]) }
+    }
+
     /// One-sided z-test: is the true mean significantly **above**
     /// `threshold` at significance level `alpha`?
     ///
@@ -256,6 +269,46 @@ mod tests {
         let mut empty = OnlineStats::new();
         empty.merge(&before);
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn merge_zero_count_sides_never_nan_poison() {
+        // Without the zero-count guards the parallel-Welford update
+        // divides by a zero total weight in degenerate shapes; every
+        // combination of empty sides must stay finite and exact.
+        let mut populated = OnlineStats::new();
+        populated.push(4.0);
+        populated.push(6.0);
+        // empty-left: the populated side is copied bit-for-bit.
+        let mut left = OnlineStats::new();
+        left.merge(&populated);
+        assert_eq!(left.to_words(), populated.to_words());
+        // empty-right: identity, bit-for-bit.
+        let mut right = populated;
+        right.merge(&OnlineStats::new());
+        assert_eq!(right.to_words(), populated.to_words());
+        // empty-both: still the empty accumulator, mean/std well-defined.
+        let mut both = OnlineStats::new();
+        both.merge(&OnlineStats::new());
+        assert_eq!(both, OnlineStats::new());
+        assert_eq!(both.mean(), 0.0);
+        assert_eq!(both.std(), 0.0);
+        assert!(both.mean().is_finite() && both.std().is_finite());
+    }
+
+    #[test]
+    fn words_round_trip_is_bit_exact() {
+        let mut acc = OnlineStats::new();
+        for i in 0..17 {
+            acc.push((i as f64).exp() * 0.1 + 1.0 / 3.0);
+        }
+        let back = OnlineStats::from_words(acc.to_words());
+        assert_eq!(back.to_words(), acc.to_words());
+        assert_eq!(back.count(), acc.count());
+        assert_eq!(back.mean().to_bits(), acc.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), acc.variance().to_bits());
+        // Empty round-trips too.
+        assert_eq!(OnlineStats::from_words(OnlineStats::new().to_words()), OnlineStats::new());
     }
 
     #[test]

@@ -113,6 +113,12 @@ impl MetricsAggregator {
     }
 
     /// Merge another partial aggregate (same shape) into this one.
+    ///
+    /// Zero-count cells are the identity on either side (guaranteed by
+    /// [`OnlineStats::merge`]'s guards), so merging a shard whose
+    /// scenario rows exist but have no completed seeds yet never
+    /// NaN-poisons the populated side — the shape asserts here are about
+    /// *structure*, not counts.
     pub fn merge(&mut self, other: &MetricsAggregator) {
         assert_eq!(self.cells.len(), other.cells.len(), "scenario count mismatch");
         assert_eq!(self.metrics.len(), other.metrics.len(), "metric count mismatch");
@@ -122,7 +128,68 @@ impl MetricsAggregator {
             }
         }
     }
+
+    /// Number of metric columns.
+    pub fn n_metrics(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Checkpoint encoding: every cell's exact accumulator state as
+    /// integer words, scenario-major, three words per cell
+    /// ([`OnlineStats::to_words`]). Floats travel as IEEE-754 bit
+    /// patterns, so a [`Self::restore_words`] round-trip is bit-exact —
+    /// the property shard-manifest resume depends on.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.cells.len() * self.metrics.len() * 3);
+        for row in &self.cells {
+            for cell in row {
+                out.extend_from_slice(&cell.to_words());
+            }
+        }
+        out
+    }
+
+    /// Restore every cell from a [`Self::snapshot_words`] encoding.
+    /// Fails (leaving `self` untouched) when the word count does not
+    /// match this aggregator's `scenarios × metrics × 3` shape.
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), SnapshotShapeError> {
+        let expected = self.cells.len() * self.metrics.len() * 3;
+        if words.len() != expected {
+            return Err(SnapshotShapeError { expected, got: words.len() });
+        }
+        let mut it = words.chunks_exact(3);
+        for row in &mut self.cells {
+            for cell in row {
+                if let Some(w) = it.next() {
+                    *cell = OnlineStats::from_words([w[0], w[1], w[2]]);
+                }
+            }
+        }
+        Ok(())
+    }
 }
+
+/// A snapshot's word count did not match the aggregator shape it was
+/// restored into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotShapeError {
+    /// Words the aggregator's shape requires.
+    pub expected: usize,
+    /// Words the snapshot supplied.
+    pub got: usize,
+}
+
+impl std::fmt::Display for SnapshotShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "aggregate snapshot holds {} words but the grid shape needs {}",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for SnapshotShapeError {}
 
 impl Aggregator for MetricsAggregator {
     fn consume(&mut self, meta: &JobMeta, report: &RunReport) {
@@ -300,6 +367,73 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn merge_with_zero_count_sides_is_identity() {
+        // An "empty shard" has the full scenario × metric shape but no
+        // completed seeds — its cells all hold zero counts. Merging one
+        // in (either direction) must be the identity, bit-for-bit, and
+        // never NaN-poison means or stds.
+        let g = grid();
+        let mut populated = MetricsAggregator::new(g.n_scenarios(), Metric::standard());
+        let status = g.run_streaming(Some(2), &mut populated);
+        assert!(status.is_complete());
+        let reference = populated.snapshot_words();
+
+        // empty-right: populated ∪ empty == populated.
+        let empty = MetricsAggregator::new(g.n_scenarios(), Metric::standard());
+        populated.merge(&empty);
+        assert_eq!(populated.snapshot_words(), reference);
+
+        // empty-left: empty ∪ populated == populated.
+        let mut left = MetricsAggregator::new(g.n_scenarios(), Metric::standard());
+        left.merge(&populated);
+        assert_eq!(left.snapshot_words(), reference);
+
+        // empty-both: still empty, all summary statistics finite.
+        let mut both = MetricsAggregator::new(g.n_scenarios(), Metric::standard());
+        both.merge(&MetricsAggregator::new(g.n_scenarios(), Metric::standard()));
+        for s in 0..g.n_scenarios() {
+            for m in both.metrics().to_vec() {
+                assert_eq!(both.stats(s, m.name).count(), 0);
+                assert!(both.mean(s, m.name).is_finite(), "cell ({s}, {}) mean", m.name);
+                assert!(both.std(s, m.name).is_finite(), "cell ({s}, {}) std", m.name);
+            }
+        }
+
+        // And the populated side stayed NaN-free throughout.
+        for s in 0..g.n_scenarios() {
+            for m in populated.metrics().to_vec() {
+                assert!(populated.mean(s, m.name).is_finite());
+                assert!(populated.std(s, m.name).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_words_round_trip_is_bit_exact() {
+        let g = grid();
+        let mut agg = MetricsAggregator::new(g.n_scenarios(), Metric::standard());
+        let status = g.run_streaming(Some(2), &mut agg);
+        assert!(status.is_complete());
+        let words = agg.snapshot_words();
+        assert_eq!(words.len(), g.n_scenarios() * agg.n_metrics() * 3);
+
+        let mut restored = MetricsAggregator::new(g.n_scenarios(), Metric::standard());
+        restored.restore_words(&words).unwrap();
+        assert_eq!(restored.snapshot_words(), words);
+        for s in 0..g.n_scenarios() {
+            for m in agg.metrics().to_vec() {
+                assert_eq!(restored.stats(s, m.name), agg.stats(s, m.name));
+            }
+        }
+
+        // Shape mismatches are rejected without touching the target.
+        let mut wrong = MetricsAggregator::new(g.n_scenarios() + 1, Metric::standard());
+        let err = wrong.restore_words(&words).unwrap_err();
+        assert_eq!(err.got, words.len());
+        assert!(err.to_string().contains("snapshot"));
     }
 
     #[test]

@@ -264,8 +264,29 @@ impl Grid {
 
     /// Materialize the job list in enumeration order.
     pub fn jobs(&self) -> Vec<Job> {
-        let mut jobs = Vec::with_capacity(self.n_jobs());
-        for scenario_idx in 0..self.n_scenarios() {
+        self.jobs_range(0, self.n_jobs())
+    }
+
+    /// Materialize only the jobs with index in `lo..hi` — exactly the
+    /// slice `jobs()[lo..hi]`, without building the rest of the grid.
+    ///
+    /// This is the sharded executor's enumeration primitive: a
+    /// million-cell sweep materializes one bounded chunk at a time, so
+    /// peak job memory is `O(shard)` instead of `O(grid)`. Scenario
+    /// mutations are applied once per scenario block that intersects the
+    /// range, so a chunked enumeration performs the same config work as
+    /// the monolithic one.
+    pub fn jobs_range(&self, lo: usize, hi: usize) -> Vec<Job> {
+        assert!(lo <= hi && hi <= self.n_jobs(), "job range {lo}..{hi} out of bounds");
+        let n_seeds = self.n_seeds();
+        let per_scenario = self.n_variants() * n_seeds;
+        let mut jobs = Vec::with_capacity(hi - lo);
+        if lo == hi {
+            return jobs;
+        }
+        let first_scenario = lo / per_scenario;
+        let last_scenario = (hi - 1) / per_scenario;
+        for scenario_idx in first_scenario..=last_scenario {
             let scenario = self.scenarios.get(scenario_idx);
             let mut cfg = self.base.clone();
             if let Some(s) = scenario {
@@ -279,14 +300,23 @@ impl Grid {
                 None => "base".into(),
             };
             for variant_idx in 0..self.n_variants() {
+                // This (scenario, variant) block spans a contiguous index
+                // run; clip it against the requested range.
+                let block_start = scenario_idx * per_scenario + variant_idx * n_seeds;
+                let cell_lo = lo.max(block_start);
+                let cell_hi = hi.min(block_start + n_seeds);
+                if cell_lo >= cell_hi {
+                    continue;
+                }
                 let mut cfg = cfg.clone();
                 if let Some((_, pool)) = self.pool_variants.get(variant_idx) {
                     cfg.pool = *pool;
                 }
                 let label = self.cell_label(&scenario_label, variant_idx);
-                for &seed in &self.seeds {
+                for index in cell_lo..cell_hi {
+                    let seed = self.seeds[index - block_start];
                     jobs.push(Job {
-                        index: jobs.len(),
+                        index,
                         scenario: scenario_idx,
                         label: label.clone(),
                         seed,
@@ -299,6 +329,40 @@ impl Grid {
             }
         }
         jobs
+    }
+
+    /// The seed axis, in declaration order.
+    pub fn seed_axis(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// FNV-1a fingerprint of the grid's *shape*: axis sizes, seeds, and
+    /// scenario/variant labels. Shard manifests store it so a resume
+    /// against a differently shaped (or relabeled) grid is rejected
+    /// instead of silently merging incompatible aggregates. Scenario
+    /// mutation closures cannot be hashed — a resumed sweep is the
+    /// caller's promise that the same code built the grid.
+    pub fn shape_fingerprint(&self) -> u64 {
+        let mut h = clamshell_obs::Fnv::new();
+        for word in [self.n_scenarios() as u64, self.n_variants() as u64, self.n_seeds() as u64] {
+            h.write(&word.to_le_bytes());
+        }
+        for &seed in &self.seeds {
+            h.write(&seed.to_le_bytes());
+        }
+        for s in 0..self.n_scenarios() {
+            let label: Arc<str> = match self.scenarios.get(s) {
+                Some(s) => s.label.clone(),
+                None => "base".into(),
+            };
+            h.write(label.as_bytes());
+            h.write(&[0]); // label separator
+        }
+        for (label, _) in &self.pool_variants {
+            h.write(label.as_bytes());
+            h.write(&[0]);
+        }
+        h.finish()
     }
 
     /// Run the whole grid, collecting reports in enumeration order.
@@ -486,6 +550,81 @@ mod tests {
         assert_eq!(jobs[0].batch_size, 4);
         assert_eq!(jobs[1].specs.len(), 8);
         assert_eq!(jobs[1].batch_size, 2);
+    }
+
+    #[test]
+    fn jobs_range_matches_full_enumeration() {
+        use clamshell_core::CheckoutStrategy;
+        // A grid exercising every axis: 2 scenarios × 2 variants × 3
+        // seeds, with a spec/batch override on one scenario.
+        let grid = Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs(4),
+            4,
+        )
+        .seeds(&[10, 20, 30])
+        .scenario("sm", |c| c.straggler = Some(Default::default()))
+        .scenario_with("wide", |c| c.straggler = None, specs(8), 2)
+        .pool_variant("fifo", PoolConfig::default())
+        .pool_variant(
+            "lifo",
+            PoolConfig { strategy: CheckoutStrategy::Lifo, ..Default::default() },
+        );
+        let all = grid.jobs();
+        assert_eq!(all.len(), 12);
+        let key = |j: &Job| {
+            (
+                j.index,
+                j.scenario,
+                j.label.to_string(),
+                j.seed,
+                j.cfg.seed,
+                j.cfg.straggler.is_some(),
+                j.cfg.pool.strategy,
+                j.specs.len(),
+                j.batch_size,
+            )
+        };
+        for lo in 0..=all.len() {
+            for hi in lo..=all.len() {
+                let chunk = grid.jobs_range(lo, hi);
+                assert_eq!(chunk.len(), hi - lo, "range {lo}..{hi}");
+                for (a, b) in chunk.iter().zip(&all[lo..hi]) {
+                    assert_eq!(key(a), key(b), "range {lo}..{hi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn jobs_range_rejects_out_of_bounds() {
+        let grid = small_grid();
+        let _ = grid.jobs_range(0, grid.n_jobs() + 1);
+    }
+
+    #[test]
+    fn shape_fingerprint_tracks_structure() {
+        let base = small_grid().shape_fingerprint();
+        assert_eq!(small_grid().shape_fingerprint(), base, "deterministic");
+        // Different seeds, labels, or axis sizes all change the print.
+        assert_ne!(small_grid().seeds(&[10, 20, 31]).shape_fingerprint(), base);
+        assert_ne!(small_grid().seeds(&[10, 20]).shape_fingerprint(), base);
+        assert_ne!(
+            small_grid().pool_variant("fifo", PoolConfig::default()).shape_fingerprint(),
+            base
+        );
+        let relabeled = Grid::new(
+            RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+            Population::mturk_live(),
+            specs(4),
+            4,
+        )
+        .seeds(&[10, 20, 30])
+        .scenario("sm", |c| c.straggler = Some(Default::default()))
+        .scenario("other", |c| c.straggler = None);
+        assert_ne!(relabeled.shape_fingerprint(), base);
     }
 
     #[test]

@@ -30,6 +30,10 @@
 //! * [`persistent`] — the process-wide [`WorkerPool`]: long-lived
 //!   threads parked between sweeps, reused by every [`Grid`] run so
 //!   repeated sweeps stop paying thread spawn.
+//! * [`shard`] — mega-sweep scale-out: [`run_sharded`] walks the grid
+//!   in bounded chunks with an FNV-chained checkpoint manifest, so a
+//!   killed million-cell sweep resumes at the last completed shard with
+//!   bit-identical final statistics.
 //! * [`progress`] — cancellation tokens and completion callbacks.
 //! * [`threads`] — thread-count resolution (see below).
 //!
@@ -87,6 +91,7 @@ pub mod persistent;
 pub mod pool;
 pub mod progress;
 pub mod queue;
+pub mod shard;
 pub mod threads;
 
 pub use aggregate::{Aggregator, Metric, MetricsAggregator, ObsAggregator};
@@ -95,3 +100,4 @@ pub use persistent::{execute_streaming_pooled, WorkerPool};
 pub use pool::{execute, execute_streaming, ExecStatus};
 pub use progress::{CancelToken, ProgressFn};
 pub use queue::StealQueues;
+pub use shard::{run_sharded, ShardError, ShardOptions, ShardOutcome};

@@ -39,12 +39,30 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// A unit of pool work: drain one sweep's steal queues.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// The injector queue plus the resize protocol's bookkeeping, under one
+/// lock so a worker atomically chooses between exiting and picking up
+/// work, and a resize sees exactly which workers are still serving.
+#[derive(Default)]
+struct Inject {
+    /// Pending tasks, oldest first.
+    tasks: VecDeque<Task>,
+    /// Serials of the workers currently commissioned to serve.
+    /// [`WorkerPool::resize`] edits this set *synchronously*: shrinking
+    /// de-commissions the highest serials, and a de-commissioned worker
+    /// exits the next time it looks for work. Serials are never reused,
+    /// so a de-commissioned-but-still-parked thread can never be
+    /// confused with a replacement.
+    serving: std::collections::BTreeSet<u64>,
+    /// Next serial to assign.
+    next_serial: u64,
+}
+
 /// Shared state between the pool handle and its worker threads.
 #[derive(Default)]
 struct Shared {
-    /// Pending tasks, oldest first.
-    injector: Mutex<VecDeque<Task>>,
-    /// Signaled when a task is queued (or shutdown is requested).
+    /// Pending tasks and retire requests.
+    injector: Mutex<Inject>,
+    /// Signaled when a task or retire is queued (or shutdown requested).
     available: Condvar,
     /// Set by [`WorkerPool`]'s `Drop`; workers exit instead of parking.
     shutdown: std::sync::atomic::AtomicBool,
@@ -56,10 +74,12 @@ thread_local! {
     static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-/// A persistent, growable set of worker threads for sweep execution.
+/// A persistent, resizable set of worker threads for sweep execution.
 ///
-/// Threads are spawned on demand (never torn down until the pool is
-/// dropped) and park on a condition variable between sweeps. The
+/// Threads are spawned on demand and park on a condition variable
+/// between sweeps; each sweep settles the pool to its own width
+/// ([`WorkerPool::resize`]), so alternating wide and narrow sweeps
+/// don't strand parked threads at the historical high-water mark. The
 /// process-wide instance behind [`WorkerPool::global`] is what
 /// [`Grid`](crate::Grid) runs on; creating private pools is mainly
 /// useful in tests.
@@ -106,32 +126,77 @@ impl WorkerPool {
         GLOBAL.get_or_init(WorkerPool::new)
     }
 
-    /// Current number of live worker threads.
+    /// Current number of serving workers: threads that will take the
+    /// next task. Deterministic immediately after a [`WorkerPool::resize`]
+    /// (de-commissioned threads leave the serving set synchronously, even
+    /// if the OS thread is still winding down).
     pub fn threads(&self) -> usize {
-        self.handles.lock().unwrap().len()
+        self.shared.injector.lock().unwrap().serving.len()
     }
 
-    /// Grow the pool (if needed) so at least `n` workers exist. Pools
-    /// never shrink: a high-water sweep leaves its threads parked for the
-    /// next one, which is the entire point.
+    /// Join worker handles whose threads have already exited (completed
+    /// retires), so the handle list stays bounded by the serving width.
+    fn reap(handles: &mut Vec<std::thread::JoinHandle<()>>) {
+        let mut live = Vec::with_capacity(handles.len());
+        for handle in handles.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                live.push(handle);
+            }
+        }
+        *handles = live;
+    }
+
+    /// Grow the pool (if needed) so at least `n` workers exist. Never
+    /// shrinks — see [`WorkerPool::resize`] for the two-way version the
+    /// sweep executor uses.
     pub fn ensure_threads(&self, n: usize) {
+        self.resize(n.max(self.threads()));
+    }
+
+    /// Settle the pool at exactly `n` serving workers (floored at 1):
+    /// spawn fresh workers when below, de-commission the newest serials
+    /// when above. De-commissioned workers exit the next time they look
+    /// for work, so repeated sweeps at alternating widths settle at the
+    /// latest width instead of stranding parked threads at the
+    /// historical high-water mark.
+    ///
+    /// A mid-sweep shrink is safe: de-commissioned workers exit
+    /// *between* tasks (forwarding any pending wakeup), queued tasks are
+    /// only taken by commissioned workers, and the floor of one worker
+    /// keeps any submitted sweep draining.
+    pub fn resize(&self, n: usize) {
+        let n = n.max(1);
         let mut handles = self.handles.lock().unwrap();
-        while handles.len() < n {
+        Self::reap(&mut handles);
+        let mut inject = self.shared.injector.lock().unwrap();
+        while inject.serving.len() > n {
+            if let Some(&serial) = inject.serving.iter().next_back() {
+                inject.serving.remove(&serial);
+            }
+        }
+        while inject.serving.len() < n {
+            let serial = inject.next_serial;
+            inject.next_serial += 1;
+            inject.serving.insert(serial);
             let shared = self.shared.clone();
-            let name = format!("clamshell-sweep-{}", handles.len());
             handles.push(
                 std::thread::Builder::new()
-                    .name(name)
-                    .spawn(move || worker_loop(&shared))
+                    .name(format!("clamshell-sweep-{serial}"))
+                    .spawn(move || worker_loop(&shared, serial))
                     // clamshell-lint: allow(D006) -- failing to spawn a pool worker at startup is unrecoverable; fail fast
                     .expect("spawn sweep worker"),
             );
         }
+        drop(inject);
+        // Wake parked workers so de-commissioned serials observe it.
+        self.shared.available.notify_all();
     }
 
     /// Queue one task for any parked worker.
     fn submit(&self, task: Task) {
-        self.shared.injector.lock().unwrap().push_back(task);
+        self.shared.injector.lock().unwrap().tasks.push_back(task);
         self.shared.available.notify_one();
     }
 }
@@ -162,20 +227,32 @@ impl Drop for WorkerPool {
 /// kill a pool thread and starve every later sweep — the coordinator
 /// detects the missing result and re-raises (see
 /// [`execute_streaming_pooled`]).
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, serial: u64) {
     use std::sync::atomic::Ordering;
     loop {
         let task = {
-            let mut injector = shared.injector.lock().unwrap();
+            let mut inject = shared.injector.lock().unwrap();
             loop {
-                if let Some(task) = injector.pop_front() {
+                // The commission check outranks pending tasks: the
+                // resize target is a thread-count invariant, and any
+                // queued task is equally runnable by a commissioned
+                // worker (resize never narrows below one). A wakeup
+                // this thread absorbed on its way out is forwarded so
+                // no queued task loses its signal.
+                if !inject.serving.contains(&serial) {
+                    if !inject.tasks.is_empty() {
+                        shared.available.notify_one();
+                    }
+                    return;
+                }
+                if let Some(task) = inject.tasks.pop_front() {
                     break task;
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
                 // clamshell-lint: allow(D006) -- condvar poison means a sibling worker panicked; propagating the panic is the contract
-                injector = shared.available.wait(injector).unwrap();
+                inject = shared.available.wait(inject).unwrap();
             }
         };
         IN_POOL_WORKER.with(|flag| flag.set(true));
@@ -200,9 +277,9 @@ fn worker_loop(shared: &Shared) {
 /// Semantics are identical to the scoped executor — `f(worker, index,
 /// item)` over a work-stealing deal, results delivered to `sink` in
 /// strictly increasing index order, `progress` on the coordinating
-/// thread — with one addition: the pool is grown to `threads` workers
-/// once and the threads are *reused* by every subsequent call instead of
-/// being respawned. Jobs must therefore be `'static` (they outlive the
+/// thread — with one addition: the pool is settled to `threads` workers
+/// and the threads are *reused* by every subsequent call at the same
+/// width instead of being respawned. Jobs must be `'static` (they outlive the
 /// caller's stack from the pool's perspective); `sink` and `progress`
 /// still run on the calling thread and may borrow freely.
 ///
@@ -229,7 +306,7 @@ where
     }
     let total = items.len();
     let workers = threads.max(1).min(total.max(1));
-    pool.ensure_threads(workers);
+    pool.resize(workers);
 
     let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let queues = Arc::new(StealQueues::deal(indexed, workers));
@@ -293,8 +370,26 @@ mod tests {
         out
     }
 
+    /// The serving width is exact immediately; the surplus OS threads
+    /// wind down asynchronously, so poll until they are joinable.
+    fn assert_settles_to(pool: &WorkerPool, want: usize) {
+        assert_eq!(pool.threads(), want, "serving width is deterministic");
+        for _ in 0..5000 {
+            let os_threads = {
+                let mut handles = pool.handles.lock().unwrap();
+                WorkerPool::reap(&mut handles);
+                handles.len()
+            };
+            if os_threads == want {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("{want}-wide pool still holds surplus OS threads");
+    }
+
     #[test]
-    fn pool_grows_once_and_is_reused() {
+    fn pool_settles_to_each_sweeps_width() {
         let pool = WorkerPool::new();
         assert_eq!(pool.threads(), 0);
         let a = run_on(&pool, 16, 3);
@@ -303,11 +398,35 @@ mod tests {
         // Thread count unchanged: the second sweep reused the workers.
         assert_eq!(pool.threads(), 3);
         assert_eq!(a, b);
-        // A wider sweep grows the pool; a narrower one never shrinks it.
+        // A wider sweep grows the pool; a narrower one shrinks it back,
+        // rather than stranding parked threads at the high-water mark.
         run_on(&pool, 8, 5);
         assert_eq!(pool.threads(), 5);
         run_on(&pool, 8, 1);
-        assert_eq!(pool.threads(), 5);
+        assert_settles_to(&pool, 1);
+    }
+
+    #[test]
+    fn alternating_widths_stay_byte_identical_and_do_not_strand_threads() {
+        // The monotonic-growth regression: alternating sweep widths must
+        // neither accumulate threads nor perturb a single byte of output.
+        let pool = WorkerPool::new();
+        let reference = run_on(&pool, 24, 1);
+        for round in 0..4 {
+            for width in [4, 1, 3, 1] {
+                assert_eq!(run_on(&pool, 24, width), reference, "round {round} width {width}");
+            }
+        }
+        // After the narrow tail sweep, the pool settles at one worker.
+        assert_settles_to(&pool, 1);
+        assert!(pool.shared.injector.lock().unwrap().tasks.is_empty());
+        // Cancelled retires: growing right back reuses parked workers
+        // whose retire request was still pending.
+        pool.resize(3);
+        pool.resize(1);
+        pool.resize(3);
+        assert_settles_to(&pool, 3);
+        assert_eq!(run_on(&pool, 24, 3), reference);
     }
 
     #[test]
@@ -361,6 +480,46 @@ mod tests {
         assert!(status.completed <= 8, "completed {}", status.completed);
         assert_eq!(status.completed, sink_count);
         assert_eq!(counter.load(Ordering::Relaxed), status.completed);
+    }
+
+    #[test]
+    fn cancellation_at_every_index_matches_sink_folds() {
+        // The cancellation-vs-aggregation contract: no matter where the
+        // cancel lands, `ExecStatus::completed` equals the number of
+        // results the sink actually folded — an aggregator fed by this
+        // executor can never under- or over-count relative to the
+        // status it reports.
+        let pool = WorkerPool::new();
+        let n = 12usize;
+        for threads in [1, 4] {
+            for kill_after in 1..=n {
+                let cancel = CancelToken::new();
+                let cancel_ref = cancel.clone();
+                let mut folds = 0usize;
+                let status = execute_streaming_pooled(
+                    &pool,
+                    (0..n).collect::<Vec<usize>>(),
+                    threads,
+                    &cancel,
+                    Some(&mut |done, _| {
+                        if done == kill_after {
+                            cancel_ref.cancel();
+                        }
+                    }),
+                    |_, _, j: usize| j * 3,
+                    &mut |i, r| {
+                        assert_eq!(r, i * 3);
+                        folds += 1;
+                    },
+                );
+                assert_eq!(
+                    status.completed, folds,
+                    "t={threads} kill@{kill_after}: status/fold divergence"
+                );
+                assert!(status.cancelled);
+                assert!(status.completed >= kill_after, "t={threads} kill@{kill_after}");
+            }
+        }
     }
 
     #[test]

@@ -286,6 +286,42 @@ mod tests {
     }
 
     #[test]
+    fn cancellation_at_every_index_matches_sink_folds() {
+        // Scoped-executor half of the cancellation-vs-aggregation
+        // contract (see the persistent-pool twin): wherever the cancel
+        // lands, `completed` equals the sink's fold count exactly.
+        let n = 12usize;
+        for threads in [1, 4] {
+            for kill_after in 1..=n {
+                let cancel = CancelToken::new();
+                let cancel_ref = &cancel;
+                let mut folds = 0usize;
+                let status = execute_streaming(
+                    (0..n).collect::<Vec<_>>(),
+                    threads,
+                    &cancel,
+                    Some(&mut |done, _| {
+                        if done == kill_after {
+                            cancel_ref.cancel();
+                        }
+                    }),
+                    |_, _, j: usize| j * 3,
+                    &mut |i, r| {
+                        assert_eq!(r, i * 3);
+                        folds += 1;
+                    },
+                );
+                assert_eq!(
+                    status.completed, folds,
+                    "t={threads} kill@{kill_after}: status/fold divergence"
+                );
+                assert!(status.cancelled);
+                assert!(status.completed >= kill_after, "t={threads} kill@{kill_after}");
+            }
+        }
+    }
+
+    #[test]
     fn execute_marks_skipped_jobs_none() {
         let cancel = CancelToken::new();
         cancel.cancel();

@@ -1,0 +1,120 @@
+//! Property-based checkpoint/resume equivalence: the sharded executor's
+//! load-bearing contract, checked over arbitrary `(grid shape, shard
+//! size, kill point, thread count)` tuples.
+//!
+//! For every sampled tuple the same grid is folded three ways —
+//!
+//! 1. unsharded, serial (`Grid::run_streaming` on one thread): the
+//!    reference bits;
+//! 2. sharded on `threads` workers, cancelled after `kill_after`
+//!    delivered cells (simulating a mid-sweep kill);
+//! 3. resumed from the manifest into a **fresh** aggregator
+//!    (simulating a new process).
+//!
+//! The resumed fold's `snapshot_words()` must equal the reference
+//! exactly — every f64 bit pattern, across every sampled shape. This is
+//! the property the hand-picked cases in `shard.rs` pin pointwise; here
+//! the shapes are adversarial: shards that divide the grid evenly,
+//! shards larger than the grid, single-cell shards, kills on and off
+//! checkpoint boundaries.
+
+use clamshell_core::task::TaskSpec;
+use clamshell_core::RunConfig;
+use clamshell_sweep::shard::{run_sharded, ShardOptions};
+use clamshell_sweep::{CancelToken, Grid, Metric, MetricsAggregator};
+use clamshell_trace::Population;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A grid with `n_seeds` seeds and `n_scenarios` of the standard
+/// adversity scenarios; cells stay small so a case runs in milliseconds.
+fn shaped_grid(n_seeds: usize, n_scenarios: usize) -> Grid {
+    let specs: Vec<TaskSpec> = (0..4).map(|i| TaskSpec::new(vec![(i % 2) as u32; 2])).collect();
+    let seeds: Vec<u64> = (1..=n_seeds as u64).collect();
+    let mut g = Grid::new(
+        RunConfig { pool_size: 4, ng: 2, ..Default::default() },
+        Population::mturk_live(),
+        specs,
+        4,
+    )
+    .seeds(&seeds)
+    .scenario("sm", |c| c.straggler = Some(Default::default()));
+    if n_scenarios >= 2 {
+        g = g.scenario("nosm", |c| c.straggler = None);
+    }
+    if n_scenarios >= 3 {
+        g = g.scenario("small", |c| c.pool_size = 2);
+    }
+    g
+}
+
+fn fresh_agg(g: &Grid) -> MetricsAggregator {
+    MetricsAggregator::new(g.n_scenarios(), Metric::standard())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded + killed + resumed == unsharded serial, bit for bit.
+    #[test]
+    fn sharded_resume_is_bit_identical_to_serial(
+        n_seeds in 1usize..5,
+        n_scenarios in 1usize..4,
+        shard_size in 1usize..9,
+        kill_raw in 0usize..64,
+        threads in 1usize..5,
+    ) {
+        let g = shaped_grid(n_seeds, n_scenarios);
+        let kill_after = 1 + kill_raw % g.n_jobs();
+        let path: PathBuf = std::env::temp_dir().join(format!(
+            "clamshell_shard_prop_{n_seeds}_{n_scenarios}_{shard_size}_{kill_after}_{threads}.jsonl"
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // 1. The unsharded serial reference fold.
+        let mut reference = fresh_agg(&g);
+        let status = g.run_streaming(Some(1), &mut reference);
+        prop_assert!(status.is_complete());
+        let reference = reference.snapshot_words();
+
+        // 2. Sharded on `threads` workers, killed mid-sweep.
+        let opts = ShardOptions {
+            shard_size,
+            manifest: path.clone(),
+            resume: false,
+            threads: Some(threads),
+        };
+        let cancel = CancelToken::new();
+        let cancel_ref = &cancel;
+        let mut agg = fresh_agg(&g);
+        let out = run_sharded(
+            &g,
+            &mut agg,
+            &opts,
+            &cancel,
+            Some(&mut |done, _| {
+                if done == kill_after {
+                    cancel_ref.cancel();
+                }
+            }),
+        )
+        .unwrap();
+
+        if out.is_complete() {
+            // The kill landed after the final delivery: the sharded
+            // fold itself must already match the reference.
+            prop_assert_eq!(agg.snapshot_words(), reference);
+        } else {
+            prop_assert!(out.cancelled);
+            // 3. A "new process": fresh aggregator, resume from the
+            // manifest, finish the sweep.
+            let opts = ShardOptions { resume: true, ..opts };
+            let mut resumed = fresh_agg(&g);
+            let out2 = run_sharded(&g, &mut resumed, &opts, &CancelToken::new(), None).unwrap();
+            prop_assert!(out2.is_complete());
+            prop_assert_eq!(out2.resumed_shards, out.shards_completed);
+            prop_assert_eq!(resumed.snapshot_words(), reference);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

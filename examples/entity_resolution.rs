@@ -44,12 +44,12 @@ fn main() {
     let mut correct = 0usize;
     let mut votes_cast = 0usize;
     for (i, task) in runner.tasks().iter().enumerate() {
-        let consensus = task.final_labels.as_ref().unwrap()[0];
+        let consensus = runner.final_labels(task).unwrap()[0];
         if consensus == truths[i] {
             correct += 1;
         }
         for response in &task.responses {
-            em.observe(response.worker.0, i as u32, response.labels[0]);
+            em.observe(response.worker.0, i as u32, runner.labels(response.labels)[0]);
             votes_cast += 1;
         }
     }

@@ -43,7 +43,7 @@ fn run_dashboard(name: &str, config: RunConfig) {
         // Tally the sentiment the dashboard would display this minute.
         let mut counts = [0usize; 3];
         for task in runner.tasks().iter().filter(|t| t.batch == batch) {
-            for &label in task.final_labels.as_ref().unwrap() {
+            for &label in runner.final_labels(task).unwrap() {
                 counts[label as usize] += 1;
                 total_counts[label as usize] += 1;
             }

@@ -173,7 +173,7 @@ fn quorum_improves_label_quality_under_mitigation() {
             .tasks()
             .iter()
             .enumerate()
-            .filter(|(i, t)| t.final_labels.as_ref().unwrap()[0] == truths[*i])
+            .filter(|(i, t)| report_runner.final_labels(t).unwrap()[0] == truths[*i])
             .count();
         correct as f64 / truths.len() as f64
     };
